@@ -1,0 +1,114 @@
+// EFF-BITMAP: what the EWAH substrate buys (the JavaEWAH substitution).
+// Compressed-bitmap intersection/union/cardinality vs a plain sorted-vector
+// set intersection, across cover densities; compressed size is reported as
+// a counter. Expected shape: EWAH wins on sparse and on clustered covers
+// (run compression), and stays competitive on dense ones.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/ewah.h"
+#include "common/random.h"
+
+namespace {
+
+using namespace scube;
+
+constexpr uint64_t kUniverse = 1 << 20;  // ~1M rows
+
+std::vector<uint64_t> RandomIndices(double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < kUniverse; ++i) {
+    if (rng.NextBool(density)) out.push_back(i);
+  }
+  return out;
+}
+
+// density as range(0) in tenths of a percent: 1 -> 0.001, 100 -> 0.1.
+double DensityOf(const benchmark::State& state) {
+  return static_cast<double>(state.range(0)) / 1000.0;
+}
+
+void BM_EwahAnd(benchmark::State& state) {
+  double density = DensityOf(state);
+  auto a = EwahBitmap::FromIndices(RandomIndices(density, 1));
+  auto b = EwahBitmap::FromIndices(RandomIndices(density, 2));
+  uint64_t card = 0;
+  for (auto _ : state) {
+    EwahBitmap c = a.And(b);
+    card = c.Cardinality();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["result_bits"] = static_cast<double>(card);
+  state.counters["bytes_a"] = static_cast<double>(a.SizeInBytes());
+}
+BENCHMARK(BM_EwahAnd)->Arg(1)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EwahAndCardinality(benchmark::State& state) {
+  double density = DensityOf(state);
+  auto a = EwahBitmap::FromIndices(RandomIndices(density, 1));
+  auto b = EwahBitmap::FromIndices(RandomIndices(density, 2));
+  for (auto _ : state) {
+    uint64_t card = a.AndCardinality(b);
+    benchmark::DoNotOptimize(card);
+  }
+}
+BENCHMARK(BM_EwahAndCardinality)->Arg(1)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EwahOr(benchmark::State& state) {
+  double density = DensityOf(state);
+  auto a = EwahBitmap::FromIndices(RandomIndices(density, 1));
+  auto b = EwahBitmap::FromIndices(RandomIndices(density, 2));
+  for (auto _ : state) {
+    EwahBitmap c = a.Or(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_EwahOr)->Arg(1)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_SortedVectorIntersect(benchmark::State& state) {
+  double density = DensityOf(state);
+  auto a = RandomIndices(density, 1);
+  auto b = RandomIndices(density, 2);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["bytes_a"] = static_cast<double>(a.size() * 8);
+}
+BENCHMARK(BM_SortedVectorIntersect)->Arg(1)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+// Clustered covers: long runs — EWAH's best case.
+void BM_EwahAndClustered(benchmark::State& state) {
+  std::vector<uint64_t> a_idx, b_idx;
+  for (uint64_t block = 0; block < kUniverse; block += 10000) {
+    if ((block / 10000) % 2 == 0) {
+      for (uint64_t i = block; i < block + 10000; ++i) a_idx.push_back(i);
+    }
+    if ((block / 10000) % 3 == 0) {
+      for (uint64_t i = block; i < block + 10000; ++i) b_idx.push_back(i);
+    }
+  }
+  auto a = EwahBitmap::FromIndices(a_idx);
+  auto b = EwahBitmap::FromIndices(b_idx);
+  for (auto _ : state) {
+    uint64_t card = a.AndCardinality(b);
+    benchmark::DoNotOptimize(card);
+  }
+  state.counters["bytes_ewah"] = static_cast<double>(a.SizeInBytes());
+  state.counters["bytes_raw"] = static_cast<double>(a_idx.size() * 8);
+}
+BENCHMARK(BM_EwahAndClustered)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

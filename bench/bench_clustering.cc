@@ -1,0 +1,96 @@
+// EFF-CLUST: the GraphClustering methods of §3 — BFS connected components,
+// weight-threshold CC (the method of [4]), SToC (attributed, [3]) — plus
+// Louvain, on the projected company graph. Cluster counts and giant-cluster
+// size are reported as counters: CC yields one giant component; threshold
+// and SToC break it into meaningful units.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/scenarios.h"
+#include "graph/connected_components.h"
+#include "graph/louvain.h"
+#include "graph/projection.h"
+#include "graph/stoc.h"
+#include "graph/threshold_clustering.h"
+#include "scube/pipeline.h"
+
+namespace {
+
+using namespace scube;
+
+struct ProjectedScenario {
+  graph::Graph graph;
+  graph::NodeAttributes attrs;
+};
+
+const ProjectedScenario& Projected() {
+  static const ProjectedScenario ps = [] {
+    auto s = datagen::GenerateScenario(datagen::ItalianConfig(0.002));
+    auto proj = graph::ProjectBipartite(s->inputs.membership,
+                                        graph::ProjectionOptions{});
+    ProjectedScenario out;
+    out.graph = std::move(proj->graph);
+    out.attrs = pipeline::BuildNodeAttributes(s->inputs.groups);
+    return out;
+  }();
+  return ps;
+}
+
+void ReportClusters(benchmark::State& state, const graph::Clustering& c) {
+  state.counters["clusters"] = static_cast<double>(c.num_clusters);
+  state.counters["giant"] = static_cast<double>(c.GiantSize());
+}
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto& ps = Projected();
+  graph::Clustering c;
+  for (auto _ : state) {
+    c = graph::ConnectedComponents(ps.graph);
+    benchmark::DoNotOptimize(c);
+  }
+  ReportClusters(state, c);
+}
+BENCHMARK(BM_ConnectedComponents)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdClustering(benchmark::State& state) {
+  const auto& ps = Projected();
+  graph::ThresholdClusteringOptions opts;
+  opts.min_weight = static_cast<double>(state.range(0));
+  graph::Clustering c;
+  for (auto _ : state) {
+    c = graph::ThresholdClustering(ps.graph, opts).value();
+    benchmark::DoNotOptimize(c);
+  }
+  ReportClusters(state, c);
+}
+BENCHMARK(BM_ThresholdClustering)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Stoc(benchmark::State& state) {
+  const auto& ps = Projected();
+  graph::StocOptions opts;
+  opts.tau = static_cast<double>(state.range(0)) / 100.0;
+  graph::Clustering c;
+  for (auto _ : state) {
+    c = graph::StocClustering(ps.graph, ps.attrs, opts).value();
+    benchmark::DoNotOptimize(c);
+  }
+  ReportClusters(state, c);
+}
+BENCHMARK(BM_Stoc)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_Louvain(benchmark::State& state) {
+  const auto& ps = Projected();
+  graph::Clustering c;
+  for (auto _ : state) {
+    c = graph::LouvainClustering(ps.graph).value();
+    benchmark::DoNotOptimize(c);
+  }
+  ReportClusters(state, c);
+  state.counters["modularity"] = graph::Modularity(ps.graph, c);
+}
+BENCHMARK(BM_Louvain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// FIG3-TABLE: regenerates the finalTable sample of Figure 3 (bottom-left):
+// the output of TableBuilder for the bipartite scenario — one row per
+// (individual, organisational unit), with the unit's company attributes
+// unioned into set-valued cells ("{electricity, transports}").
+
+#include <cstdio>
+
+#include "datagen/scenarios.h"
+#include "scube/pipeline.h"
+
+using namespace scube;
+
+int main() {
+  auto scenario = datagen::GenerateScenario(datagen::ItalianConfig(0.0008));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  pipeline::PipelineConfig config;
+  config.unit_source = pipeline::UnitSource::kGroupClusters;
+  config.method = pipeline::ClusterMethod::kThreshold;
+  config.threshold.min_weight = 2.0;
+  config.cube.min_support = 50;
+  config.cube.max_sa_items = 1;
+  config.cube.max_ca_items = 1;
+  auto result = pipeline::RunPipeline(scenario->inputs, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const relational::Table& ft = result->final_table;
+  std::printf("FIG3-TABLE: finalTable (input of SegregationDataCubeBuilder)\n");
+  std::printf("rows=%zu  units=%u\n\n", ft.NumRows(),
+              result->clustering.num_clusters);
+
+  // Header.
+  for (size_t c = 0; c < ft.schema().NumAttributes(); ++c) {
+    std::printf("%-20s", ft.schema().attribute(c).name.c_str());
+  }
+  std::printf("\n");
+  // Prefer rows with multi-valued sector sets (the hallmark of Fig. 3).
+  int sector_col = ft.schema().IndexOf("sector");
+  size_t shown = 0;
+  for (size_t r = 0; r < ft.NumRows() && shown < 6; ++r) {
+    if (sector_col >= 0 &&
+        ft.SetCodes(r, static_cast<size_t>(sector_col)).size() < 2) {
+      continue;
+    }
+    for (size_t c = 0; c < ft.schema().NumAttributes(); ++c) {
+      std::printf("%-20s", ft.CellToString(r, c).substr(0, 19).c_str());
+    }
+    std::printf("\n");
+    ++shown;
+  }
+  for (size_t r = 0; r < ft.NumRows() && shown < 10; ++r, ++shown) {
+    for (size_t c = 0; c < ft.schema().NumAttributes(); ++c) {
+      std::printf("%-20s", ft.CellToString(r, c).substr(0, 19).c_str());
+    }
+    std::printf("\n");
+  }
+
+  Status saved = WriteStringToFile("finalTable.csv", ft.ToCsvString());
+  std::printf("\nfinalTable.csv: %s\n", saved.ok() ? "written" : "FAILED");
+  std::printf("Shape check (paper Fig. 3): set-valued sector cells appear "
+              "when a unit spans companies of several sectors.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// FIG5-TOP: regenerates the sample multidimensional segregation cube of
+// Figure 5 (top) — the scube.xlsx workbook the Visualizer hands to Excel /
+// LibreOffice — and prints its head rows.
+
+#include <cstdio>
+
+#include "datagen/scenarios.h"
+#include "scube/pipeline.h"
+#include "viz/xlsx_writer.h"
+
+using namespace scube;
+
+int main() {
+  auto scenario = datagen::GenerateScenario(datagen::ItalianConfig(0.002));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  pipeline::PipelineConfig config;
+  config.unit_source = pipeline::UnitSource::kGroupClusters;
+  config.method = pipeline::ClusterMethod::kThreshold;
+  config.threshold.min_weight = 2.0;
+  config.cube.min_support = 25;
+  config.cube.mode = fpm::MineMode::kClosed;
+  config.cube.max_sa_items = 2;
+  config.cube.max_ca_items = 1;
+  auto result = pipeline::RunPipeline(scenario->inputs, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const cube::SegregationCube& cube = result->cube;
+
+  std::printf("FIG5-TOP: multidimensional segregation cube -> scube.xlsx\n");
+  std::printf("cells=%zu defined=%zu units=%u\n\n", cube.NumCells(),
+              cube.NumDefinedCells(), result->clustering.num_clusters);
+
+  std::printf("%-42s %-30s %8s %8s %8s %8s\n", "subgroup", "context", "T",
+              "M", "D", "Gini");
+  size_t shown = 0;
+  for (const cube::CubeCell* cell : cube.Cells()) {
+    if (!cell->indexes.defined) continue;
+    std::printf("%-42s %-30s %8llu %8llu %8.3f %8.3f\n",
+                cube.catalog().LabelSet(cell->coords.sa).substr(0, 41).c_str(),
+                cube.catalog().LabelSet(cell->coords.ca).substr(0, 29).c_str(),
+                static_cast<unsigned long long>(cell->context_size),
+                static_cast<unsigned long long>(cell->minority_size),
+                cell->Value(indexes::IndexKind::kDissimilarity),
+                cell->Value(indexes::IndexKind::kGini));
+    if (++shown >= 12) break;
+  }
+
+  Status saved = viz::WriteCubeXlsx(cube, "scube.xlsx");
+  std::printf("\nscube.xlsx: %s (%zu cube rows, OOXML/SpreadsheetML in a "
+              "stored ZIP)\n",
+              saved.ok() ? "written" : "FAILED", cube.NumCells());
+  std::printf("Shape check (paper Fig. 5 top): one row per cube cell with "
+              "all six indexes; '-' for undefined cells.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// FIG5-BOTTOM: regenerates the radial plot of Figure 5 (bottom) — the six
+// segregation indexes of women directors for each of the 20 Italian company
+// sectors. Organisational units are headquarters provinces, so each
+// sector's indexes measure how unevenly women are spread geographically
+// within that sector. Emits fig5_radial.svg.
+
+#include <cstdio>
+
+#include "datagen/scenarios.h"
+#include "scube/pipeline.h"
+#include "viz/svg.h"
+
+using namespace scube;
+
+int main() {
+  auto scenario = datagen::GenerateScenario(datagen::ItalianConfig(0.004));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  pipeline::PipelineConfig config;
+  config.unit_source = pipeline::UnitSource::kGroupAttribute;
+  config.group_unit_attribute = "hq_province";
+  config.cube.min_support = 25;
+  config.cube.mode = fpm::MineMode::kAll;
+  config.cube.max_sa_items = 1;
+  config.cube.max_ca_items = 1;
+  auto result = pipeline::RunPipeline(scenario->inputs, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const cube::SegregationCube& cube = result->cube;
+  const auto& catalog = cube.catalog();
+
+  int gender_col = result->final_table.schema().IndexOf("gender");
+  int sector_col = result->final_table.schema().IndexOf("sector");
+  fpm::ItemId female = catalog.Find(static_cast<size_t>(gender_col), "F");
+
+  std::printf("FIG5-BOTTOM: six indexes per sector (units = provinces)\n\n");
+  std::printf("%-16s %8s %8s %8s %8s %8s %8s\n", "sector", "D", "Gini", "H",
+              "xPx", "xPy", "A");
+
+  std::vector<std::string> axes;
+  std::array<std::vector<double>, indexes::kNumIndexKinds> series_values;
+  for (const auto& sector : datagen::ItalianSectors()) {
+    fpm::ItemId item =
+        catalog.Find(static_cast<size_t>(sector_col), sector.name);
+    if (item == fpm::kInvalidItem) continue;
+    const cube::CubeCell* cell =
+        cube.Find(fpm::Itemset({female}), fpm::Itemset({item}));
+    if (cell == nullptr || !cell->indexes.defined) continue;
+    axes.push_back(sector.name);
+    std::printf("%-16s", sector.name.c_str());
+    for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+      double v = cell->Value(kind);
+      series_values[static_cast<size_t>(kind)].push_back(v);
+      std::printf(" %8.3f", v);
+    }
+    std::printf("\n");
+  }
+
+  if (axes.size() >= 3) {
+    viz::RadialChartSpec spec;
+    spec.title = "Segregation of women directors across the 20 sectors";
+    spec.axes = axes;
+    const char* kColors[] = {"#c0392b", "#2980b9", "#27ae60",
+                             "#8e44ad", "#f39c12", "#16a085"};
+    for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+      size_t i = static_cast<size_t>(kind);
+      spec.series.push_back(viz::RadialSeries{
+          indexes::IndexKindToString(kind), series_values[i], kColors[i]});
+    }
+    auto svg = RenderRadialChart(spec);
+    if (svg.ok()) {
+      Status saved = WriteStringToFile("fig5_radial.svg", svg.value());
+      std::printf("\nfig5_radial.svg: %s (%zu sector axes, 6 index series)\n",
+                  saved.ok() ? "written" : "FAILED", axes.size());
+    }
+  }
+  std::printf("Shape check (paper Fig. 5 bottom): isolation+interaction=1 "
+              "per sector; male-heavy sectors (construction, mining) show "
+              "higher female unevenness than female-leaning ones.\n");
+  return 0;
+}

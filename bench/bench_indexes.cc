@@ -1,0 +1,71 @@
+// INDEXES: throughput of the six segregation indexes (§2) over growing unit
+// counts, the O(n log n) Gini vs its O(n^2) reference, and the permutation
+// significance test.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "indexes/segregation_index.h"
+#include "indexes/significance.h"
+
+namespace {
+
+using namespace scube;
+
+indexes::GroupDistribution MakeDistribution(size_t num_units, uint64_t seed) {
+  Rng rng(seed);
+  indexes::GroupDistribution d;
+  for (size_t i = 0; i < num_units; ++i) {
+    uint64_t t = 1 + rng.NextBounded(500);
+    uint64_t m = rng.NextBounded(t + 1);
+    d.AddUnit(t, m);
+  }
+  return d;
+}
+
+void BM_AllSixIndexes(benchmark::State& state) {
+  auto d = MakeDistribution(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto all = indexes::ComputeAllIndexes(d);
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AllSixIndexes)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GiniFast(benchmark::State& state) {
+  auto d = MakeDistribution(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto g = indexes::Gini(d);
+    benchmark::DoNotOptimize(g);
+  }
+}
+void BM_GiniQuadratic(benchmark::State& state) {
+  auto d = MakeDistribution(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto g = indexes::GiniQuadraticReference(d);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GiniFast)->Arg(100)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GiniQuadratic)->Arg(100)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PermutationTest(benchmark::State& state) {
+  auto d = MakeDistribution(50, 9);
+  indexes::SignificanceOptions opts;
+  opts.num_samples = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = indexes::PermutationTest(indexes::IndexKind::kDissimilarity, d,
+                                      opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PermutationTest)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

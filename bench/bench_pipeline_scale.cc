@@ -1,0 +1,58 @@
+// SCALE: the §4 claim that SCube handles the largest datasets in the
+// segregation literature (IT: 3.6M directors / 2.15M companies). This bench
+// runs the full pipeline at increasing scale factors and reports per-stage
+// wall-clock, so the scaling trend toward the paper's sizes is visible.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "datagen/scenarios.h"
+#include "scube/pipeline.h"
+
+using namespace scube;
+
+int main() {
+  std::printf("SCALE: full pipeline (projection -> threshold clustering -> "
+              "join -> closed-itemset cube) vs registry size\n\n");
+  std::printf("%-8s %10s %10s %10s | %9s %9s %9s %9s | %8s\n", "scale",
+              "directors", "companies", "seats", "project", "cluster",
+              "join", "cube", "cells");
+
+  for (double scale : {0.0005, 0.001, 0.002, 0.004}) {
+    auto scenario =
+        datagen::GenerateScenario(datagen::ItalianConfig(scale));
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+      return 1;
+    }
+    pipeline::PipelineConfig config;
+    config.unit_source = pipeline::UnitSource::kGroupClusters;
+    config.method = pipeline::ClusterMethod::kThreshold;
+    config.threshold.min_weight = 2.0;
+    config.cube.min_support_fraction = 0.002;
+    config.cube.mode = fpm::MineMode::kClosed;
+    config.cube.max_sa_items = 2;
+    config.cube.max_ca_items = 1;
+    auto result = pipeline::RunPipeline(scenario->inputs, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    double stage_secs[4] = {0, 0, 0, 0};
+    int i = 0;
+    for (const auto& [name, secs] : result->timings.stages()) {
+      if (i < 4) stage_secs[i++] = secs;
+    }
+    std::printf("%-8.4f %10zu %10zu %10zu | %8.3fs %8.3fs %8.3fs %8.3fs "
+                "| %8zu\n",
+                scale, scenario->inputs.individuals.NumRows(),
+                scenario->inputs.groups.NumRows(),
+                scenario->inputs.membership.NumMemberships(), stage_secs[0],
+                stage_secs[1], stage_secs[2], stage_secs[3],
+                result->cube.NumCells());
+  }
+  std::printf("\nShape check (§3/§4): every stage grows roughly linearly in "
+              "registry size at fixed relative support; the cube stage "
+              "dominates, which is why SCube mines *closed* itemsets.\n");
+  return 0;
+}

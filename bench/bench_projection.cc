@@ -1,0 +1,74 @@
+// EFF-PROJ: GraphBuilder cost — one-mode projection of the bipartite
+// membership graph, scaling with registry size, plus the hub-cap ablation
+// (directors on many boards create quadratic cliques).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/scenarios.h"
+#include "graph/projection.h"
+
+namespace {
+
+using namespace scube;
+
+const etl::ScubeInputs& ScenarioAt(int permille) {
+  static std::map<int, datagen::GeneratedScenario> cache;
+  auto it = cache.find(permille);
+  if (it == cache.end()) {
+    auto s = datagen::GenerateScenario(
+        datagen::ItalianConfig(permille / 1000.0 / 100.0));
+    it = cache.emplace(permille, std::move(s).value()).first;
+  }
+  return it->second.inputs;
+}
+
+void BM_ProjectGroups(benchmark::State& state) {
+  const etl::ScubeInputs& inputs = ScenarioAt(static_cast<int>(state.range(0)));
+  graph::ProjectionOptions opts;
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    auto r = graph::ProjectBipartite(inputs.membership, opts);
+    edges = r->graph.NumEdges();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["memberships"] =
+      static_cast<double>(inputs.membership.NumMemberships());
+  state.counters["edges"] = static_cast<double>(edges);
+}
+// range = scale in 1/100000 of the full Italian registry.
+BENCHMARK(BM_ProjectGroups)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProjectIndividuals(benchmark::State& state) {
+  const etl::ScubeInputs& inputs = ScenarioAt(static_cast<int>(state.range(0)));
+  graph::ProjectionOptions opts;
+  opts.side = graph::ProjectionSide::kIndividuals;
+  for (auto _ : state) {
+    auto r = graph::ProjectBipartite(inputs.membership, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ProjectIndividuals)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProjectGroupsHubCap(benchmark::State& state) {
+  const etl::ScubeInputs& inputs = ScenarioAt(200);
+  graph::ProjectionOptions opts;
+  opts.hub_cap = static_cast<uint32_t>(state.range(0));
+  uint64_t skipped = 0, edges = 0;
+  for (auto _ : state) {
+    auto r = graph::ProjectBipartite(inputs.membership, opts);
+    skipped = r->hubs_skipped;
+    edges = r->graph.NumEdges();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["hubs_skipped"] = static_cast<double>(skipped);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+// 0 = no cap; small caps drop prolific directors.
+BENCHMARK(BM_ProjectGroupsHubCap)->Arg(0)->Arg(10)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

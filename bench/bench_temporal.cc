@@ -1,0 +1,85 @@
+// TEMPORAL: the Estonian-registry capability of §3 — membership validity
+// intervals + snapshot dates yield a per-year segregation time series. The
+// planted feminisation drift must surface as a rising female share (and a
+// generally easing evenness gap) across the 20 snapshots. Emits
+// fig_temporal.svg.
+
+#include <cstdio>
+
+#include "datagen/scenarios.h"
+#include "scube/temporal.h"
+#include "viz/svg.h"
+
+using namespace scube;
+
+int main() {
+  auto scenario = datagen::GenerateScenario(datagen::EstonianConfig(0.01));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("TEMPORAL: synthetic Estonian registry, %zu snapshots\n",
+              scenario->snapshot_years.size());
+  std::printf("directors=%zu companies=%zu memberships=%zu\n\n",
+              scenario->inputs.individuals.NumRows(),
+              scenario->inputs.groups.NumRows(),
+              scenario->inputs.membership.NumMemberships());
+
+  pipeline::PipelineConfig config;
+  config.unit_source = pipeline::UnitSource::kGroupAttribute;
+  config.group_unit_attribute = "sector";
+  config.cube.min_support = 5;
+  config.cube.mode = fpm::MineMode::kAll;
+  config.cube.max_sa_items = 1;
+  config.cube.max_ca_items = 0;
+
+  pipeline::TrackedCell female;
+  female.sa = {{"gender", "F"}};
+  auto result = pipeline::RunTemporalAnalysis(
+      scenario->inputs, config, scenario->snapshot_years, {female});
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-6s %8s %10s %8s %8s %8s\n", "year", "seats", "femShare",
+              "D", "Gini", "H");
+  viz::LineChartSpec chart;
+  chart.title = "Women on Estonian boards: share and segregation by year";
+  viz::LineSeries share_series{"female share", {}, "#2980b9"};
+  viz::LineSeries d_series{"dissimilarity", {}, "#c0392b"};
+  viz::LineSeries gini_series{"gini", {}, "#27ae60"};
+  double first_share = -1, last_share = -1;
+
+  for (const pipeline::TemporalPoint& p : result->series[0]) {
+    if (!p.defined) continue;
+    double share = p.MinorityShare();
+    if (first_share < 0) first_share = share;
+    last_share = share;
+    chart.x_labels.push_back(std::to_string(p.date));
+    share_series.values.push_back(share);
+    d_series.values.push_back(
+        p.indexes[indexes::IndexKind::kDissimilarity]);
+    gini_series.values.push_back(p.indexes[indexes::IndexKind::kGini]);
+    std::printf("%-6lld %8llu %10.3f %8.3f %8.3f %8.3f\n",
+                static_cast<long long>(p.date),
+                static_cast<unsigned long long>(p.context_size), share,
+                p.indexes[indexes::IndexKind::kDissimilarity],
+                p.indexes[indexes::IndexKind::kGini],
+                p.indexes[indexes::IndexKind::kInformation]);
+  }
+
+  if (chart.x_labels.size() >= 2) {
+    chart.series = {share_series, d_series, gini_series};
+    auto svg = viz::RenderLineChart(chart);
+    if (svg.ok()) {
+      Status saved = WriteStringToFile("fig_temporal.svg", svg.value());
+      std::printf("\nfig_temporal.svg: %s\n",
+                  saved.ok() ? "written" : "FAILED");
+    }
+  }
+  std::printf("\nShape check: female share rises over the registry's life "
+              "(%.3f -> %.3f; planted drift +0.15).\n", first_share,
+              last_share);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Italian boards (demo scenario 3): the full SCube pipeline on a synthetic
+// replica of the Italian company registry — bipartite directors x companies,
+// one-mode projection, company clustering, finalTable join, segregation
+// cube, and the scube.xlsx / SVG artifacts.
+//
+// Run:  ./italian_boards [scale]     (default scale 0.002 ~ 4300 companies)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "cube/explorer.h"
+#include "datagen/scenarios.h"
+#include "scube/pipeline.h"
+#include "viz/report.h"
+#include "viz/svg.h"
+#include "viz/xlsx_writer.h"
+
+int main(int argc, char** argv) {
+  using namespace scube;
+
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.002;
+  std::printf("== SCube on synthetic Italian boards (scale %.4f) ==\n",
+              scale);
+
+  // 1. Synthetic registry standing in for the proprietary 2012 snapshot.
+  auto scenario = datagen::GenerateScenario(datagen::ItalianConfig(scale));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("directors: %s   companies: %s   board seats: %s\n",
+              FormatWithCommas(static_cast<int64_t>(
+                  scenario->inputs.individuals.NumRows())).c_str(),
+              FormatWithCommas(static_cast<int64_t>(
+                  scenario->inputs.groups.NumRows())).c_str(),
+              FormatWithCommas(static_cast<int64_t>(
+                  scenario->inputs.membership.NumMemberships())).c_str());
+
+  // 2. Pipeline: projection -> threshold clustering -> join -> cube.
+  pipeline::PipelineConfig config;
+  config.unit_source = pipeline::UnitSource::kGroupClusters;
+  config.method = pipeline::ClusterMethod::kThreshold;
+  config.threshold.min_weight = 2.0;
+  config.cube.min_support = 20;
+  config.cube.mode = fpm::MineMode::kClosed;
+  config.cube.max_sa_items = 2;
+  config.cube.max_ca_items = 1;
+
+  auto result = pipeline::RunPipeline(scenario->inputs, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("projection: %llu edges, %llu isolated companies\n",
+              static_cast<unsigned long long>(result->projected_edges),
+              static_cast<unsigned long long>(result->isolated_nodes));
+  std::printf("clustering: %u organisational units (giant %u companies)\n",
+              result->clustering.num_clusters,
+              result->clustering.GiantSize());
+  std::printf("finalTable: %zu rows\ncube: %zu cells (%zu defined)\n",
+              result->final_table.NumRows(), result->cube.NumCells(),
+              result->cube.NumDefinedCells());
+  for (const auto& [stage, secs] : result->timings.stages()) {
+    std::printf("  stage %-16s %.3fs\n", stage.c_str(), secs);
+  }
+
+  // 3. Discovery: where are women most segregated?
+  cube::ExplorerOptions explore;
+  explore.min_context_size = 100;
+  explore.min_minority_size = 10;
+  std::printf("\ntop contexts by dissimilarity:\n%s\n",
+              viz::RenderTopContexts(result->cube,
+                                     indexes::IndexKind::kDissimilarity, 8,
+                                     explore)
+                  .c_str());
+
+  // 4. Drill-down surprises (contexts invisible at coarser granularity).
+  auto surprises = cube::DrillDownSurprises(
+      result->cube, indexes::IndexKind::kDissimilarity, 0.08, explore);
+  std::printf("drill-down surprises (delta >= 0.08): %zu\n",
+              surprises.size());
+  for (size_t i = 0; i < surprises.size() && i < 3; ++i) {
+    std::printf("  %.3f (parent %.3f): %s\n", surprises[i].value,
+                surprises[i].best_parent_value,
+                result->cube.LabelOf(surprises[i].cell->coords).c_str());
+  }
+
+  // 5. Artifacts: the OOXML workbook and the cube CSV.
+  Status saved = viz::WriteCubeXlsx(result->cube, "scube.xlsx");
+  std::printf("\nscube.xlsx: %s\n", saved.ok() ? "written" : "FAILED");
+  Status csv = WriteStringToFile("cube.csv", result->cube.ToCsv());
+  std::printf("cube.csv:   %s\n", csv.ok() ? "written" : "FAILED");
+  return 0;
+}

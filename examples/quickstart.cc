@@ -1,0 +1,110 @@
+// Quickstart: segregation discovery on tabular data (demo scenario 1).
+//
+// Builds a tiny finalTable in code — individuals with sex/age segregation
+// attributes, a region context attribute, and a job-type organisational
+// unit — then materialises the segregation data cube and explores it.
+//
+// Run:  ./quickstart
+
+#include <cstdio>
+
+#include "cube/builder.h"
+#include "cube/explorer.h"
+#include "viz/report.h"
+
+int main() {
+  using namespace scube;
+  using relational::AttributeKind;
+  using relational::ColumnType;
+
+  // 1. Declare the finalTable schema: who can be segregated (SA), where
+  //    (CA), and the organisational unit.
+  relational::Schema schema({
+      {"sex", ColumnType::kCategorical, AttributeKind::kSegregation},
+      {"age", ColumnType::kCategorical, AttributeKind::kSegregation},
+      {"region", ColumnType::kCategorical, AttributeKind::kContext},
+      {"job", ColumnType::kCategorical, AttributeKind::kUnit},
+  });
+  relational::Table table(schema);
+
+  // 2. Load individuals (in real use: Table::FromCsv on finalTable.csv).
+  struct Row {
+    const char* sex;
+    const char* age;
+    const char* region;
+    const char* job;
+    int copies;
+  };
+  const Row rows[] = {
+      {"female", "young", "north", "engineer", 2},
+      {"female", "young", "north", "teacher", 8},
+      {"male", "young", "north", "engineer", 9},
+      {"male", "young", "north", "teacher", 3},
+      {"female", "elder", "north", "teacher", 6},
+      {"male", "elder", "north", "engineer", 7},
+      {"male", "elder", "north", "teacher", 2},
+      {"female", "young", "south", "engineer", 1},
+      {"female", "young", "south", "teacher", 7},
+      {"male", "young", "south", "engineer", 8},
+      {"female", "elder", "south", "teacher", 4},
+      {"male", "elder", "south", "engineer", 6},
+      {"male", "elder", "south", "teacher", 4},
+      {"female", "elder", "south", "clerk", 3},
+      {"male", "elder", "south", "clerk", 2},
+  };
+  for (const Row& r : rows) {
+    for (int i = 0; i < r.copies; ++i) {
+      Status s = table.AppendRowFromStrings({r.sex, r.age, r.region, r.job});
+      if (!s.ok()) {
+        std::fprintf(stderr, "append failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("finalTable: %zu individuals, 3 job-type units\n\n",
+              table.NumRows());
+
+  // 3. Build the segregation data cube.
+  cube::CubeBuilderOptions options;
+  options.min_support = 3;
+  options.mode = fpm::MineMode::kAll;
+  options.max_sa_items = 2;
+  options.max_ca_items = 1;
+  auto built = cube::BuildSegregationCube(table, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "cube build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const cube::SegregationCube& cube = built.value();
+  std::printf("cube: %zu cells (%zu defined)\n\n", cube.NumCells(),
+              cube.NumDefinedCells());
+
+  // 4. A Fig.1-style pivot: dissimilarity of sex subgroups per region.
+  viz::PivotSpec pivot;
+  pivot.sa_attribute = "sex";
+  pivot.ca_attribute = "region";
+  auto grid = viz::RenderPivotTable(cube, pivot);
+  if (grid.ok()) {
+    std::printf("dissimilarity pivot (rows: sex, cols: region):\n%s\n",
+                grid->c_str());
+  }
+
+  // 5. Discovery: the most segregated contexts.
+  cube::ExplorerOptions explore;
+  explore.min_context_size = 10;
+  explore.min_minority_size = 3;
+  std::printf("top segregation contexts by dissimilarity:\n%s\n",
+              viz::RenderTopContexts(cube, indexes::IndexKind::kDissimilarity,
+                                     5, explore)
+                  .c_str());
+
+  // 6. Inspect one cell in full (all six indexes).
+  auto top = cube::TopSegregatedContexts(
+      cube, indexes::IndexKind::kDissimilarity, 1, explore);
+  if (!top.empty()) {
+    std::printf("%s\n",
+                viz::RenderCellSummary(cube, *top[0].cell).c_str());
+  }
+  return 0;
+}

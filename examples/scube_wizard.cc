@@ -1,0 +1,154 @@
+// SCube wizard: a terminal re-creation of the standalone wizard of Fig. 4 —
+// it walks the user through scenario choice, clustering method, minimum
+// support, and index selection, runs the pipeline, and leaves scube.xlsx
+// ready to open in a spreadsheet (the original launches Excel/LibreOffice).
+//
+// Run:  ./scube_wizard          (interactive)
+//       ./scube_wizard --auto   (accept all defaults; for CI)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cube/explorer.h"
+#include "datagen/scenarios.h"
+#include "scube/pipeline.h"
+#include "viz/report.h"
+#include "viz/xlsx_writer.h"
+
+namespace {
+
+bool g_auto = false;
+
+// Asks a question with a default; returns the answer (default when --auto
+// or empty input).
+std::string Ask(const std::string& question, const std::string& fallback) {
+  std::printf("%s [%s]: ", question.c_str(), fallback.c_str());
+  if (g_auto) {
+    std::printf("%s\n", fallback.c_str());
+    return fallback;
+  }
+  std::fflush(stdout);
+  char buffer[256];
+  if (!std::fgets(buffer, sizeof(buffer), stdin)) return fallback;
+  std::string answer(buffer);
+  while (!answer.empty() && (answer.back() == '\n' || answer.back() == '\r')) {
+    answer.pop_back();
+  }
+  return answer.empty() ? fallback : answer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scube;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--auto") == 0) g_auto = true;
+  }
+
+  std::printf("=============================================\n");
+  std::printf(" SCube — segregation discovery wizard\n");
+  std::printf("=============================================\n\n");
+
+  // Step 1: data.
+  std::string country = Ask("Country preset (IT/EE)", "IT");
+  std::string scale_str = Ask("Scale factor (1.0 = paper size)", "0.002");
+  double scale = std::stod(scale_str);
+  auto config_gen = country == "EE" ? datagen::EstonianConfig(scale)
+                                    : datagen::ItalianConfig(scale);
+  std::printf("\nGenerating synthetic %s registry...\n", country.c_str());
+  auto scenario = datagen::GenerateScenario(config_gen);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %zu directors, %zu companies, %zu board seats\n\n",
+              scenario->inputs.individuals.NumRows(),
+              scenario->inputs.groups.NumRows(),
+              scenario->inputs.membership.NumMemberships());
+
+  // Step 2: scenario.
+  std::printf("Analysis scenarios:\n");
+  std::printf("  1. tabular      (units = company sectors)\n");
+  std::printf("  2. directors    (units = communities of directors)\n");
+  std::printf("  3. companies    (units = communities of companies)\n");
+  std::string scenario_choice = Ask("Scenario", "3");
+
+  pipeline::PipelineConfig config;
+  if (scenario_choice == "1") {
+    config.unit_source = pipeline::UnitSource::kGroupAttribute;
+    config.group_unit_attribute = "sector";
+  } else if (scenario_choice == "2") {
+    config.unit_source = pipeline::UnitSource::kIndividualClusters;
+  } else {
+    config.unit_source = pipeline::UnitSource::kGroupClusters;
+  }
+
+  // Step 3: clustering method (skipped for tabular).
+  if (config.unit_source != pipeline::UnitSource::kGroupAttribute) {
+    std::printf("\nClustering methods: cc / threshold / stoc / louvain\n");
+    std::string method = Ask("Method", "threshold");
+    if (method == "cc") {
+      config.method = pipeline::ClusterMethod::kConnectedComponents;
+    } else if (method == "stoc") {
+      config.method = pipeline::ClusterMethod::kStoc;
+      config.stoc.tau = std::stod(Ask("SToC tau", "0.25"));
+    } else if (method == "louvain") {
+      config.method = pipeline::ClusterMethod::kLouvain;
+    } else {
+      config.method = pipeline::ClusterMethod::kThreshold;
+      config.threshold.min_weight =
+          std::stod(Ask("Edge weight threshold", "2"));
+    }
+  }
+
+  // Step 4: cube parameters.
+  config.cube.min_support =
+      static_cast<uint64_t>(std::stoll(Ask("\nMinimum support", "20")));
+  config.cube.mode = Ask("Itemsets (closed/all)", "closed") == "all"
+                         ? fpm::MineMode::kAll
+                         : fpm::MineMode::kClosed;
+  config.cube.max_sa_items = 2;
+  config.cube.max_ca_items = 1;
+
+  // Step 5: run.
+  std::printf("\nRunning the SCube pipeline...\n");
+  auto result = pipeline::RunPipeline(scenario->inputs, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [stage, secs] : result->timings.stages()) {
+    std::printf("  %-18s %.3fs\n", stage.c_str(), secs);
+  }
+  std::printf("  cube: %zu cells (%zu defined) over %u units\n",
+              result->cube.NumCells(), result->cube.NumDefinedCells(),
+              result->clustering.num_clusters);
+
+  // Step 6: explore + export.
+  std::string index_name =
+      Ask("\nRank contexts by index", "dissimilarity");
+  auto kind = indexes::IndexKindFromString(index_name);
+  cube::ExplorerOptions explore;
+  explore.min_context_size = 50;
+  explore.min_minority_size = 10;
+  std::printf("\n%s\n",
+              viz::RenderTopContexts(
+                  result->cube,
+                  kind.ok() ? kind.value()
+                            : indexes::IndexKind::kDissimilarity,
+                  8, explore)
+                  .c_str());
+
+  std::string out = Ask("Output workbook", "scube.xlsx");
+  Status saved = viz::WriteCubeXlsx(result->cube, out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "export failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nWrote %s — open it in Excel or LibreOffice to pivot the "
+              "segregation data cube.\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,517 @@
+#include "common/ewah.h"
+
+#include <bit>
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scube {
+
+namespace {
+constexpr uint64_t kMaxRunLength = 0xFFFFFFFFULL;       // 32 bits
+constexpr uint64_t kMaxLiteralCount = 0x7FFFFFFFULL;    // 31 bits
+constexpr uint64_t kAllOnes = ~0ULL;
+
+inline uint64_t MixHash(uint64_t h, uint64_t v) {
+  // splitmix64 finalizer over the running state xor the value.
+  uint64_t z = h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+void EwahBitmap::Builder::EnsureMarker() {
+  if (!has_marker_) {
+    last_marker_ = buffer_.size();
+    buffer_.push_back(MakeMarker(false, 0, 0));
+    has_marker_ = true;
+  }
+}
+
+void EwahBitmap::Builder::AddEmptyWords(bool bit, uint64_t count) {
+  while (count > 0) {
+    EnsureMarker();
+    uint64_t marker = buffer_[last_marker_];
+    bool run_bit = MarkerRunBit(marker);
+    uint64_t run = MarkerRunLength(marker);
+    uint64_t lits = MarkerLiteralCount(marker);
+    // A marker's clean run precedes its literals; once literals exist (or the
+    // run bit differs on a non-empty run), a fresh marker is required.
+    bool compatible = lits == 0 && (run == 0 || run_bit == bit);
+    if (!compatible || run == kMaxRunLength) {
+      last_marker_ = buffer_.size();
+      buffer_.push_back(MakeMarker(bit, 0, 0));
+      marker = buffer_[last_marker_];
+      run = 0;
+    }
+    uint64_t can_take = std::min(count, kMaxRunLength - run);
+    buffer_[last_marker_] = MakeMarker(bit, run + can_take, 0);
+    count -= can_take;
+  }
+}
+
+void EwahBitmap::Builder::AddLiteralWord(uint64_t word) {
+  EnsureMarker();
+  uint64_t marker = buffer_[last_marker_];
+  uint64_t lits = MarkerLiteralCount(marker);
+  if (lits == kMaxLiteralCount) {
+    last_marker_ = buffer_.size();
+    buffer_.push_back(MakeMarker(false, 0, 0));
+    marker = buffer_[last_marker_];
+    lits = 0;
+  }
+  buffer_[last_marker_] =
+      MakeMarker(MarkerRunBit(marker), MarkerRunLength(marker), lits + 1);
+  buffer_.push_back(word);
+}
+
+void EwahBitmap::Builder::FlushCurrentWord() {
+  uint64_t w = current_word_;
+  if (w == 0) {
+    AddEmptyWords(false, 1);
+  } else if (w == kAllOnes) {
+    AddEmptyWords(true, 1);
+  } else {
+    AddLiteralWord(w);
+  }
+}
+
+void EwahBitmap::Builder::Add(uint64_t pos) {
+  SCUBE_CHECK(!any_ || pos > last_pos_);
+  uint64_t word_index = pos >> 6;
+  if (word_index > current_word_index_ || (!any_ && word_index > 0)) {
+    if (any_ || current_word_ != 0) {
+      FlushCurrentWord();
+    } else if (word_index > 0 && current_word_index_ == 0 && !any_) {
+      // First word was never started: it is empty.
+      AddEmptyWords(false, 1);
+    }
+    if (word_index > current_word_index_ + 1) {
+      AddEmptyWords(false, word_index - current_word_index_ - 1);
+    }
+    current_word_ = 0;
+    current_word_index_ = word_index;
+  }
+  current_word_ |= 1ULL << (pos & 63);
+  last_pos_ = pos;
+  any_ = true;
+  size_in_bits_ = pos + 1;
+}
+
+EwahBitmap EwahBitmap::Builder::Build() {
+  EwahBitmap out;
+  if (any_) {
+    FlushCurrentWord();
+    out.buffer_ = std::move(buffer_);
+    out.size_in_bits_ = size_in_bits_;
+  }
+  *this = Builder();
+  return out;
+}
+
+EwahBitmap EwahBitmap::FromIndices(const std::vector<uint64_t>& sorted) {
+  Builder b;
+  for (uint64_t pos : sorted) b.Add(pos);
+  return b.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+EwahBitmap::Reader::Reader(const std::vector<uint64_t>& buffer)
+    : buffer_(&buffer) {
+  LoadMarker();
+}
+
+void EwahBitmap::Reader::LoadMarker() {
+  while (run_left_ == 0 && lit_left_ == 0 && pos_ < buffer_->size()) {
+    uint64_t marker = (*buffer_)[pos_];
+    ++pos_;
+    run_bit_ = MarkerRunBit(marker);
+    run_left_ = MarkerRunLength(marker);
+    lit_left_ = MarkerLiteralCount(marker);
+  }
+}
+
+bool EwahBitmap::Reader::HasNext() const {
+  return run_left_ > 0 || lit_left_ > 0;
+}
+
+uint64_t EwahBitmap::Reader::SegmentLength() const {
+  if (run_left_ > 0) return run_left_;
+  return lit_left_ > 0 ? 1 : 0;
+}
+
+bool EwahBitmap::Reader::InRun() const { return run_left_ > 0; }
+
+bool EwahBitmap::Reader::RunBit() const { return run_bit_; }
+
+uint64_t EwahBitmap::Reader::LiteralWord() const {
+  return (*buffer_)[pos_];
+}
+
+void EwahBitmap::Reader::Skip(uint64_t count) {
+  if (count == 0) return;
+  if (run_left_ > 0) {
+    SCUBE_CHECK(count <= run_left_);
+    run_left_ -= count;
+  } else {
+    SCUBE_CHECK(count == 1 && lit_left_ > 0);
+    --lit_left_;
+    ++pos_;
+  }
+  LoadMarker();
+}
+
+// ---------------------------------------------------------------------------
+// Binary operations
+// ---------------------------------------------------------------------------
+
+EwahBitmap EwahBitmap::BinaryMerge(const EwahBitmap& a, const EwahBitmap& b,
+                                   BinaryOp op) {
+  Reader ra(a.buffer_);
+  Reader rb(b.buffer_);
+  Builder out;
+
+  auto combine_bits = [op](bool x, bool y) {
+    switch (op) {
+      case BinaryOp::kAnd:
+        return x && y;
+      case BinaryOp::kOr:
+        return x || y;
+      case BinaryOp::kXor:
+        return x != y;
+      case BinaryOp::kAndNot:
+        return x && !y;
+    }
+    return false;
+  };
+  auto combine_words = [op](uint64_t x, uint64_t y) -> uint64_t {
+    switch (op) {
+      case BinaryOp::kAnd:
+        return x & y;
+      case BinaryOp::kOr:
+        return x | y;
+      case BinaryOp::kXor:
+        return x ^ y;
+      case BinaryOp::kAndNot:
+        return x & ~y;
+    }
+    return 0;
+  };
+  auto emit_word = [&out](uint64_t w) {
+    if (w == 0) {
+      out.AddEmptyWords(false, 1);
+    } else if (w == kAllOnes) {
+      out.AddEmptyWords(true, 1);
+    } else {
+      out.AddLiteralWord(w);
+    }
+  };
+
+  uint64_t words_emitted = 0;
+  while (ra.HasNext() && rb.HasNext()) {
+    if (ra.InRun() && rb.InRun()) {
+      uint64_t n = std::min(ra.SegmentLength(), rb.SegmentLength());
+      out.AddEmptyWords(combine_bits(ra.RunBit(), rb.RunBit()), n);
+      ra.Skip(n);
+      rb.Skip(n);
+      words_emitted += n;
+    } else if (ra.InRun()) {
+      uint64_t run_word = ra.RunBit() ? kAllOnes : 0ULL;
+      uint64_t n = ra.SegmentLength();
+      // Consume up to n literal words from b against the constant run word.
+      while (n > 0 && rb.HasNext() && !rb.InRun()) {
+        emit_word(combine_words(run_word, rb.LiteralWord()));
+        rb.Skip(1);
+        ra.Skip(1);
+        --n;
+        ++words_emitted;
+      }
+    } else if (rb.InRun()) {
+      uint64_t run_word = rb.RunBit() ? kAllOnes : 0ULL;
+      uint64_t n = rb.SegmentLength();
+      while (n > 0 && ra.HasNext() && !ra.InRun()) {
+        emit_word(combine_words(ra.LiteralWord(), run_word));
+        ra.Skip(1);
+        rb.Skip(1);
+        --n;
+        ++words_emitted;
+      }
+    } else {
+      emit_word(combine_words(ra.LiteralWord(), rb.LiteralWord()));
+      ra.Skip(1);
+      rb.Skip(1);
+      ++words_emitted;
+    }
+  }
+
+  // Remainder: the exhausted side is an implicit run of zeros.
+  bool keep_a_tail =
+      op == BinaryOp::kOr || op == BinaryOp::kXor || op == BinaryOp::kAndNot;
+  bool keep_b_tail = op == BinaryOp::kOr || op == BinaryOp::kXor;
+  if (keep_a_tail) {
+    while (ra.HasNext()) {
+      if (ra.InRun()) {
+        uint64_t n = ra.SegmentLength();
+        out.AddEmptyWords(ra.RunBit(), n);
+        ra.Skip(n);
+        words_emitted += n;
+      } else {
+        emit_word(ra.LiteralWord());
+        ra.Skip(1);
+        ++words_emitted;
+      }
+    }
+  }
+  if (keep_b_tail) {
+    while (rb.HasNext()) {
+      if (rb.InRun()) {
+        uint64_t n = rb.SegmentLength();
+        out.AddEmptyWords(rb.RunBit(), n);
+        rb.Skip(n);
+        words_emitted += n;
+      } else {
+        emit_word(rb.LiteralWord());
+        rb.Skip(1);
+        ++words_emitted;
+      }
+    }
+  }
+
+  EwahBitmap result;
+  result.buffer_ = std::move(out.buffer_);
+  result.size_in_bits_ = std::max(a.size_in_bits_, b.size_in_bits_);
+  return result;
+}
+
+EwahBitmap EwahBitmap::And(const EwahBitmap& other) const {
+  return BinaryMerge(*this, other, BinaryOp::kAnd);
+}
+EwahBitmap EwahBitmap::Or(const EwahBitmap& other) const {
+  return BinaryMerge(*this, other, BinaryOp::kOr);
+}
+EwahBitmap EwahBitmap::Xor(const EwahBitmap& other) const {
+  return BinaryMerge(*this, other, BinaryOp::kXor);
+}
+EwahBitmap EwahBitmap::AndNot(const EwahBitmap& other) const {
+  return BinaryMerge(*this, other, BinaryOp::kAndNot);
+}
+
+uint64_t EwahBitmap::AndCardinality(const EwahBitmap& other) const {
+  Reader ra(buffer_);
+  Reader rb(other.buffer_);
+  uint64_t count = 0;
+  while (ra.HasNext() && rb.HasNext()) {
+    if (ra.InRun() && rb.InRun()) {
+      uint64_t n = std::min(ra.SegmentLength(), rb.SegmentLength());
+      if (ra.RunBit() && rb.RunBit()) count += 64 * n;
+      ra.Skip(n);
+      rb.Skip(n);
+    } else if (ra.InRun()) {
+      if (ra.RunBit()) count += std::popcount(rb.LiteralWord());
+      rb.Skip(1);
+      ra.Skip(1);
+    } else if (rb.InRun()) {
+      if (rb.RunBit()) count += std::popcount(ra.LiteralWord());
+      ra.Skip(1);
+      rb.Skip(1);
+    } else {
+      count += std::popcount(ra.LiteralWord() & rb.LiteralWord());
+      ra.Skip(1);
+      rb.Skip(1);
+    }
+  }
+  return count;
+}
+
+bool EwahBitmap::Intersects(const EwahBitmap& other) const {
+  Reader ra(buffer_);
+  Reader rb(other.buffer_);
+  while (ra.HasNext() && rb.HasNext()) {
+    if (ra.InRun() && rb.InRun()) {
+      uint64_t n = std::min(ra.SegmentLength(), rb.SegmentLength());
+      if (ra.RunBit() && rb.RunBit()) return true;
+      ra.Skip(n);
+      rb.Skip(n);
+    } else if (ra.InRun()) {
+      if (ra.RunBit() && rb.LiteralWord() != 0) return true;
+      rb.Skip(1);
+      ra.Skip(1);
+    } else if (rb.InRun()) {
+      if (rb.RunBit() && ra.LiteralWord() != 0) return true;
+      ra.Skip(1);
+      rb.Skip(1);
+    } else {
+      if ((ra.LiteralWord() & rb.LiteralWord()) != 0) return true;
+      ra.Skip(1);
+      rb.Skip(1);
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+uint64_t EwahBitmap::Cardinality() const {
+  uint64_t count = 0;
+  size_t pos = 0;
+  while (pos < buffer_.size()) {
+    uint64_t marker = buffer_[pos];
+    ++pos;
+    if (MarkerRunBit(marker)) count += 64 * MarkerRunLength(marker);
+    uint64_t lits = MarkerLiteralCount(marker);
+    for (uint64_t i = 0; i < lits; ++i) {
+      count += std::popcount(buffer_[pos]);
+      ++pos;
+    }
+  }
+  return count;
+}
+
+void EwahBitmap::ForEach(const std::function<void(uint64_t)>& fn) const {
+  size_t pos = 0;
+  uint64_t word_index = 0;
+  while (pos < buffer_.size()) {
+    uint64_t marker = buffer_[pos];
+    ++pos;
+    uint64_t run = MarkerRunLength(marker);
+    if (MarkerRunBit(marker)) {
+      for (uint64_t w = 0; w < run; ++w) {
+        uint64_t base = (word_index + w) * 64;
+        for (int j = 0; j < 64; ++j) fn(base + j);
+      }
+    }
+    word_index += run;
+    uint64_t lits = MarkerLiteralCount(marker);
+    for (uint64_t i = 0; i < lits; ++i) {
+      uint64_t w = buffer_[pos];
+      ++pos;
+      uint64_t base = word_index * 64;
+      while (w != 0) {
+        int j = std::countr_zero(w);
+        fn(base + j);
+        w &= w - 1;
+      }
+      ++word_index;
+    }
+  }
+}
+
+std::vector<uint64_t> EwahBitmap::ToIndices() const {
+  std::vector<uint64_t> out;
+  ForEach([&out](uint64_t pos) { out.push_back(pos); });
+  return out;
+}
+
+bool EwahBitmap::Get(uint64_t pos) const {
+  uint64_t target_word = pos >> 6;
+  size_t p = 0;
+  uint64_t word_index = 0;
+  while (p < buffer_.size()) {
+    uint64_t marker = buffer_[p];
+    ++p;
+    uint64_t run = MarkerRunLength(marker);
+    if (target_word < word_index + run) return MarkerRunBit(marker);
+    word_index += run;
+    uint64_t lits = MarkerLiteralCount(marker);
+    if (target_word < word_index + lits) {
+      uint64_t w = buffer_[p + (target_word - word_index)];
+      return (w >> (pos & 63)) & 1ULL;
+    }
+    p += lits;
+    word_index += lits;
+  }
+  return false;
+}
+
+bool EwahBitmap::operator==(const EwahBitmap& other) const {
+  Reader ra(buffer_);
+  Reader rb(other.buffer_);
+  while (ra.HasNext() && rb.HasNext()) {
+    if (ra.InRun() && rb.InRun()) {
+      if (ra.RunBit() != rb.RunBit()) return false;
+      uint64_t n = std::min(ra.SegmentLength(), rb.SegmentLength());
+      ra.Skip(n);
+      rb.Skip(n);
+    } else if (ra.InRun()) {
+      uint64_t expect = ra.RunBit() ? kAllOnes : 0ULL;
+      if (rb.LiteralWord() != expect) return false;
+      ra.Skip(1);
+      rb.Skip(1);
+    } else if (rb.InRun()) {
+      uint64_t expect = rb.RunBit() ? kAllOnes : 0ULL;
+      if (ra.LiteralWord() != expect) return false;
+      ra.Skip(1);
+      rb.Skip(1);
+    } else {
+      if (ra.LiteralWord() != rb.LiteralWord()) return false;
+      ra.Skip(1);
+      rb.Skip(1);
+    }
+  }
+  // The longer tail must be all zeros.
+  for (Reader* r : {&ra, &rb}) {
+    while (r->HasNext()) {
+      if (r->InRun()) {
+        if (r->RunBit()) return false;
+        r->Skip(r->SegmentLength());
+      } else {
+        if (r->LiteralWord() != 0) return false;
+        r->Skip(1);
+      }
+    }
+  }
+  return true;
+}
+
+uint64_t EwahBitmap::Hash() const {
+  uint64_t h = 0x5CB3E5CB3E5CB3E5ULL;
+  size_t pos = 0;
+  uint64_t word_index = 0;
+  while (pos < buffer_.size()) {
+    uint64_t marker = buffer_[pos];
+    ++pos;
+    uint64_t run = MarkerRunLength(marker);
+    if (MarkerRunBit(marker)) {
+      for (uint64_t w = 0; w < run; ++w) {
+        h = MixHash(h, word_index + w);
+        h = MixHash(h, kAllOnes);
+      }
+    }
+    word_index += run;
+    uint64_t lits = MarkerLiteralCount(marker);
+    for (uint64_t i = 0; i < lits; ++i) {
+      uint64_t w = buffer_[pos];
+      ++pos;
+      if (w != 0) {
+        h = MixHash(h, word_index);
+        h = MixHash(h, w);
+      }
+      ++word_index;
+    }
+  }
+  return h;
+}
+
+std::string EwahBitmap::DebugString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](uint64_t pos) {
+    if (!first) out += ",";
+    out += std::to_string(pos);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace scube

@@ -1,0 +1,156 @@
+// EWAH (Enhanced Word-Aligned Hybrid) compressed bitmap, 64-bit words.
+//
+// From-scratch reimplementation of the compressed-bitmap substrate the
+// original SCube takes from JavaEWAH (github.com/lemire/javaewah). The
+// encoding is a stream of *marker* words, each followed by a block of
+// literal words:
+//
+//   marker bit 0       : run bit (value of the clean-word run)
+//   marker bits 1..32  : run length, in 64-bit words (up to 2^32 - 1)
+//   marker bits 33..63 : number of literal words that follow (up to 2^31 - 1)
+//
+// Bitmaps are immutable once built; construct them through Builder or
+// FromIndices. All binary operations are word-aligned merges that never
+// decompress more than one word at a time.
+
+#ifndef SCUBE_COMMON_EWAH_H_
+#define SCUBE_COMMON_EWAH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scube {
+
+/// \brief Immutable EWAH-compressed bitmap over bit positions [0, 2^37).
+class EwahBitmap {
+ public:
+  /// Constructs an empty bitmap (no set bits, zero logical size).
+  EwahBitmap() = default;
+
+  /// \brief Incremental builder; positions must be strictly increasing.
+  class Builder {
+   public:
+    Builder() = default;
+
+    /// Appends a set bit at `pos`; `pos` must exceed all previous positions.
+    void Add(uint64_t pos);
+
+    /// Finalises and returns the bitmap. The builder is left empty.
+    EwahBitmap Build();
+
+   private:
+    friend class EwahBitmap;
+    void FlushCurrentWord();
+    void AddEmptyWords(bool bit, uint64_t count);
+    void AddLiteralWord(uint64_t word);
+    void EnsureMarker();
+
+    std::vector<uint64_t> buffer_;
+    size_t last_marker_ = 0;      // index of the active marker word
+    bool has_marker_ = false;
+    uint64_t current_word_ = 0;   // word being assembled
+    uint64_t current_word_index_ = 0;
+    uint64_t size_in_bits_ = 0;
+    uint64_t last_pos_ = 0;
+    bool any_ = false;
+  };
+
+  /// Builds a bitmap from sorted, duplicate-free positions.
+  static EwahBitmap FromIndices(const std::vector<uint64_t>& sorted_indices);
+
+  /// Number of set bits. O(#markers + #literals).
+  uint64_t Cardinality() const;
+
+  /// Logical size: one past the highest set bit at build time.
+  uint64_t SizeInBits() const { return size_in_bits_; }
+
+  /// True iff no bit is set.
+  bool Empty() const { return Cardinality() == 0; }
+
+  /// Binary operations; the result's logical size is max of the inputs
+  /// (And/AndNot: min is also correct for set bits, max kept for symmetry).
+  EwahBitmap And(const EwahBitmap& other) const;
+  EwahBitmap Or(const EwahBitmap& other) const;
+  EwahBitmap Xor(const EwahBitmap& other) const;
+  EwahBitmap AndNot(const EwahBitmap& other) const;
+
+  /// Cardinality of the intersection without materialising it.
+  uint64_t AndCardinality(const EwahBitmap& other) const;
+
+  /// True iff the intersection is non-empty (early exit).
+  bool Intersects(const EwahBitmap& other) const;
+
+  /// Calls `fn` once per set bit, in increasing order.
+  void ForEach(const std::function<void(uint64_t)>& fn) const;
+
+  /// All set-bit positions, in increasing order.
+  std::vector<uint64_t> ToIndices() const;
+
+  /// Tests a single bit. O(#markers); intended for tests, not hot loops.
+  bool Get(uint64_t pos) const;
+
+  /// Compressed size in bytes (the buffer only).
+  size_t SizeInBytes() const { return buffer_.size() * sizeof(uint64_t); }
+
+  /// Equality of the represented bit sets (not of the physical encodings).
+  bool operator==(const EwahBitmap& other) const;
+  bool operator!=(const EwahBitmap& other) const { return !(*this == other); }
+
+  /// 64-bit hash of the represented bit set (used to memoise covers).
+  uint64_t Hash() const;
+
+  /// Debug rendering, e.g. "{1,5,7}".
+  std::string DebugString() const;
+
+ private:
+  friend class Builder;
+
+  // Marker word accessors.
+  static bool MarkerRunBit(uint64_t marker) { return marker & 1ULL; }
+  static uint64_t MarkerRunLength(uint64_t marker) {
+    return (marker >> 1) & 0xFFFFFFFFULL;
+  }
+  static uint64_t MarkerLiteralCount(uint64_t marker) { return marker >> 33; }
+  static uint64_t MakeMarker(bool bit, uint64_t run, uint64_t literals) {
+    return (bit ? 1ULL : 0ULL) | (run << 1) | (literals << 33);
+  }
+
+  // Streaming reader over the uncompressed word sequence with run awareness.
+  class Reader {
+   public:
+    explicit Reader(const std::vector<uint64_t>& buffer);
+    /// True while uncompressed words remain.
+    bool HasNext() const;
+    /// Words remaining in the current homogeneous segment (run or literals).
+    uint64_t SegmentLength() const;
+    /// True if the current segment is a clean run (of run_bit words).
+    bool InRun() const;
+    bool RunBit() const;
+    /// Current literal word (only valid when !InRun()).
+    uint64_t LiteralWord() const;
+    /// Advances by `count` words; count <= SegmentLength(), and if inside a
+    /// literal segment, count must be 1.
+    void Skip(uint64_t count);
+
+   private:
+    void LoadMarker();
+    const std::vector<uint64_t>* buffer_;
+    size_t pos_ = 0;           // index into buffer_
+    uint64_t run_left_ = 0;    // words left in the clean run
+    uint64_t lit_left_ = 0;    // literal words left after the run
+    bool run_bit_ = false;
+  };
+
+  enum class BinaryOp { kAnd, kOr, kXor, kAndNot };
+  static EwahBitmap BinaryMerge(const EwahBitmap& a, const EwahBitmap& b,
+                                BinaryOp op);
+
+  std::vector<uint64_t> buffer_;
+  uint64_t size_in_bits_ = 0;
+};
+
+}  // namespace scube
+
+#endif  // SCUBE_COMMON_EWAH_H_

@@ -1,0 +1,38 @@
+// Hash helpers: 64-bit mixing and combination for composite keys.
+
+#ifndef SCUBE_COMMON_HASHING_H_
+#define SCUBE_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace scube {
+
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mixer.
+inline uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// FNV-1a over bytes; stable across platforms.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace scube
+
+#endif  // SCUBE_COMMON_HASHING_H_

@@ -1,0 +1,83 @@
+// Result<T>: value-or-Status, the companion of Status for functions that
+// produce a value on success.
+
+#ifndef SCUBE_COMMON_RESULT_H_
+#define SCUBE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace scube {
+
+/// \brief Holds either a successfully produced T or an error Status.
+///
+/// Typical use:
+/// \code
+///   Result<Table> r = Table::FromCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from an error status. Must not be OK: an OK status
+  /// carries no value and would leave the Result unusable.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (Status::OK() when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result-producing expression, else binds the
+/// value to `lhs`. Usable in functions returning Status or Result<U>.
+#define SCUBE_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto SCUBE_CONCAT_(_scube_res_, __LINE__) = (expr);              \
+  if (!SCUBE_CONCAT_(_scube_res_, __LINE__).ok())                  \
+    return SCUBE_CONCAT_(_scube_res_, __LINE__).status();          \
+  lhs = std::move(SCUBE_CONCAT_(_scube_res_, __LINE__)).value()
+
+#define SCUBE_CONCAT_INNER_(a, b) a##b
+#define SCUBE_CONCAT_(a, b) SCUBE_CONCAT_INNER_(a, b)
+
+}  // namespace scube
+
+#endif  // SCUBE_COMMON_RESULT_H_

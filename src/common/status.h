@@ -1,0 +1,114 @@
+// Status: error-handling primitive used across the SCube public API.
+//
+// SCube follows the database-engine idiom (RocksDB/Arrow): no exceptions
+// cross a public API boundary. Fallible operations return a Status (or a
+// Result<T>, see result.h) that callers must inspect.
+
+#ifndef SCUBE_COMMON_STATUS_H_
+#define SCUBE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace scube {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code, e.g. "IOError".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a contextual message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The failure category (kOk on success).
+  StatusCode code() const { return code_; }
+
+  /// The contextual message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// Returns e.g. "InvalidArgument: minsup must be positive".
+  std::string ToString() const;
+
+  /// Prepends context to the message, keeping the code. No-op when OK.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Usable only in functions that
+/// themselves return Status.
+#define SCUBE_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::scube::Status _scube_status = (expr);         \
+    if (!_scube_status.ok()) return _scube_status;  \
+  } while (false)
+
+}  // namespace scube
+
+#endif  // SCUBE_COMMON_STATUS_H_

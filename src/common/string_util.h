@@ -1,0 +1,43 @@
+// Small string helpers shared across modules (no locale dependence).
+
+#ifndef SCUBE_COMMON_STRING_UTIL_H_
+#define SCUBE_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scube {
+
+/// Splits `input` on `sep`; keeps empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII-only lower-casing (sufficient for attribute names and enum values).
+std::string ToLower(std::string_view s);
+
+/// True iff `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer / double parsing of the *entire* string.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats a double with `digits` decimal places ("0.78").
+std::string FormatDouble(double v, int digits);
+
+/// Formats with thousands separators: 3600000 -> "3,600,000".
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace scube
+
+#endif  // SCUBE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,163 @@
+#include "cube/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "fpm/registry.h"
+#include "indexes/counts.h"
+
+namespace scube {
+namespace cube {
+
+namespace {
+
+// Sparse per-unit histogram built by bucketing a cover through row_unit.
+// A dense scratch array plus a touched list keeps resets O(#touched).
+class UnitHistogrammer {
+ public:
+  explicit UnitHistogrammer(size_t num_units) : counts_(num_units, 0) {}
+
+  // Returns (unit, count) pairs sorted by unit, and the cover cardinality.
+  std::vector<std::pair<uint32_t, uint64_t>> Histogram(
+      const EwahBitmap& cover, const std::vector<uint32_t>& row_unit) {
+    for (uint32_t unit : touched_) counts_[unit] = 0;
+    touched_.clear();
+    cover.ForEach([this, &row_unit](uint64_t row) {
+      uint32_t unit = row_unit[row];
+      if (counts_[unit] == 0) touched_.push_back(unit);
+      ++counts_[unit];
+    });
+    std::sort(touched_.begin(), touched_.end());
+    std::vector<std::pair<uint32_t, uint64_t>> out;
+    out.reserve(touched_.size());
+    for (uint32_t unit : touched_) out.emplace_back(unit, counts_[unit]);
+    return out;
+  }
+
+ private:
+  std::vector<uint64_t> counts_;
+  std::vector<uint32_t> touched_;
+};
+
+// Memoised statistics of one context B.
+struct ContextStats {
+  EwahBitmap cover;
+  uint64_t total = 0;  // T
+  std::vector<std::pair<uint32_t, uint64_t>> unit_totals;  // (unit, t_i)
+};
+
+}  // namespace
+
+Result<SegregationCube> BuildSegregationCube(
+    const relational::EncodedRelation& encoded,
+    const CubeBuilderOptions& options, CubeBuildStats* stats) {
+  CubeBuildStats local_stats;
+  CubeBuildStats* st = stats != nullptr ? stats : &local_stats;
+  *st = CubeBuildStats{};
+
+  if (options.max_sa_items == 0) {
+    return Status::InvalidArgument("max_sa_items must be >= 1");
+  }
+  const size_t num_rows = encoded.db.NumTransactions();
+  if (num_rows == 0) {
+    return Status::FailedPrecondition("finalTable has no rows");
+  }
+
+  uint64_t min_support = options.min_support;
+  if (options.min_support_fraction > 0.0) {
+    min_support = std::max(
+        min_support, static_cast<uint64_t>(std::ceil(
+                         options.min_support_fraction * num_rows)));
+  }
+  if (min_support < 1) min_support = 1;
+
+  // --- Mining -------------------------------------------------------------
+  WallTimer timer;
+  auto miner = fpm::MakeMiner(options.miner);
+  if (!miner.ok()) return miner.status();
+  fpm::MinerOptions mine_opts;
+  mine_opts.min_support = min_support;
+  mine_opts.max_length = options.max_sa_items + options.max_ca_items;
+  mine_opts.mode = options.mode;
+  mine_opts.include_empty = true;  // the all-⋆ root and pure-SA cells
+  auto mined = miner.value()->Mine(encoded.db, mine_opts);
+  if (!mined.ok()) return mined.status();
+  st->seconds_mining = timer.Seconds();
+  st->mined_itemsets = mined.value().size();
+
+  // --- Filling ------------------------------------------------------------
+  timer.Reset();
+  SegregationCube cube(encoded.catalog, encoded.unit_labels);
+  UnitHistogrammer histogrammer(encoded.unit_labels.size());
+  std::unordered_map<fpm::Itemset, ContextStats, fpm::ItemsetHash> contexts;
+  std::vector<uint64_t> scratch_m(encoded.unit_labels.size(), 0);
+
+  for (const fpm::FrequentItemset& fs : mined.value()) {
+    fpm::Itemset sa, ca;
+    encoded.catalog.Split(fs.items, &sa, &ca);
+    if (sa.size() > options.max_sa_items) continue;
+    if (ca.size() > options.max_ca_items) continue;
+
+    // Context statistics (memoised by B).
+    auto [ctx_it, inserted] = contexts.try_emplace(ca);
+    ContextStats& ctx = ctx_it->second;
+    if (inserted) {
+      ctx.cover = encoded.db.Cover(ca);
+      ctx.total = ctx.cover.Cardinality();
+      ctx.unit_totals = histogrammer.Histogram(ctx.cover, encoded.row_unit);
+    }
+
+    // Minority cover: cover(A ∪ B) = cover(B) ∩ item covers of A.
+    EwahBitmap minority_cover = ctx.cover;
+    for (fpm::ItemId item : sa.items()) {
+      minority_cover = minority_cover.And(encoded.db.ItemCover(item));
+    }
+
+    CubeCell cell;
+    cell.coords = CellCoordinates{sa, ca};
+    cell.context_size = ctx.total;
+    cell.minority_size = minority_cover.Cardinality();
+    cell.num_units = static_cast<uint32_t>(ctx.unit_totals.size());
+
+    // Per-unit minority counts.
+    std::vector<uint32_t> touched;
+    minority_cover.ForEach([&](uint64_t row) {
+      uint32_t unit = encoded.row_unit[row];
+      if (scratch_m[unit] == 0) touched.push_back(unit);
+      ++scratch_m[unit];
+    });
+    indexes::GroupDistribution dist;
+    for (const auto& [unit, t] : ctx.unit_totals) {
+      dist.AddUnit(t, scratch_m[unit]);
+    }
+    for (uint32_t unit : touched) scratch_m[unit] = 0;
+
+    auto idx = indexes::ComputeAllIndexes(dist, options.index_params);
+    if (!idx.ok()) return idx.status();
+    cell.indexes = idx.value();
+
+    if (cell.indexes.defined) ++st->cells_defined;
+    ++st->cells_created;
+    cube.Insert(std::move(cell));
+  }
+  st->seconds_filling = timer.Seconds();
+  st->contexts_memoized = contexts.size();
+  return cube;
+}
+
+Result<SegregationCube> BuildSegregationCube(
+    const relational::Table& final_table, const CubeBuilderOptions& options,
+    CubeBuildStats* stats) {
+  WallTimer timer;
+  auto encoded = relational::EncodeForAnalysis(final_table);
+  if (!encoded.ok()) return encoded.status();
+  double encode_secs = timer.Seconds();
+  auto cube = BuildSegregationCube(encoded.value(), options, stats);
+  if (cube.ok() && stats != nullptr) stats->seconds_encoding = encode_secs;
+  return cube;
+}
+
+}  // namespace cube
+}  // namespace scube

@@ -1,0 +1,15 @@
+#include "cube/cell.h"
+
+namespace scube {
+namespace cube {
+
+bool CellCoordinates::operator<(const CellCoordinates& other) const {
+  size_t len = sa.size() + ca.size();
+  size_t other_len = other.sa.size() + other.ca.size();
+  if (len != other_len) return len < other_len;
+  if (!(sa == other.sa)) return sa < other.sa;
+  return ca < other.ca;
+}
+
+}  // namespace cube
+}  // namespace scube

@@ -1,0 +1,61 @@
+// Cube cell: coordinates (SA itemset x CA itemset) and index payload.
+
+#ifndef SCUBE_CUBE_CELL_H_
+#define SCUBE_CUBE_CELL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/hashing.h"
+#include "fpm/itemset.h"
+#include "indexes/segregation_index.h"
+
+namespace scube {
+namespace cube {
+
+/// \brief A cell address: the minority subgroup A (segregation items) and
+/// the context B (context items). Empty itemsets denote "⋆".
+struct CellCoordinates {
+  fpm::Itemset sa;  ///< minority subgroup (e.g. sex=F & age=young)
+  fpm::Itemset ca;  ///< context (e.g. region=north)
+
+  bool operator==(const CellCoordinates& other) const {
+    return sa == other.sa && ca == other.ca;
+  }
+  /// Deterministic ordering: by (|sa|+|ca|, sa, ca).
+  bool operator<(const CellCoordinates& other) const;
+
+  uint64_t Hash() const { return HashCombine(sa.Hash(), ca.Hash()); }
+};
+
+struct CellCoordinatesHash {
+  size_t operator()(const CellCoordinates& c) const {
+    return static_cast<size_t>(c.Hash());
+  }
+};
+
+/// \brief One materialised cube cell.
+struct CubeCell {
+  CellCoordinates coords;
+
+  /// T: population satisfying the CA coordinates.
+  uint64_t context_size = 0;
+
+  /// M: population satisfying both SA and CA coordinates.
+  uint64_t minority_size = 0;
+
+  /// Number of organisational units with population in this context.
+  uint32_t num_units = 0;
+
+  /// The six index values; `indexes.defined` is false for degenerate cells
+  /// (M = 0 or M = T), rendered as "-" in reports (paper Fig. 1).
+  indexes::IndexVector indexes;
+
+  /// Convenience accessor; only meaningful when indexes.defined.
+  double Value(indexes::IndexKind kind) const { return indexes[kind]; }
+};
+
+}  // namespace cube
+}  // namespace scube
+
+#endif  // SCUBE_CUBE_CELL_H_

@@ -1,0 +1,78 @@
+// SegregationCube: the multi-dimensional segregation data cube (paper §2).
+//
+// Cells are addressed by (SA itemset, CA itemset) coordinates; metrics are
+// the six segregation indexes. The cube owns the item catalog so cells can
+// be labelled, navigated by attribute, and exported.
+
+#ifndef SCUBE_CUBE_CUBE_H_
+#define SCUBE_CUBE_CUBE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "cube/cell.h"
+#include "relational/transactions.h"
+
+namespace scube {
+namespace cube {
+
+/// \brief Materialised segregation data cube.
+class SegregationCube {
+ public:
+  SegregationCube() = default;
+  SegregationCube(relational::ItemCatalog catalog,
+                  std::vector<std::string> unit_labels)
+      : catalog_(std::move(catalog)), unit_labels_(std::move(unit_labels)) {}
+
+  /// The item catalog mapping items to (attribute, value) pairs.
+  const relational::ItemCatalog& catalog() const { return catalog_; }
+
+  /// Labels of the organisational units the indexes were computed over.
+  const std::vector<std::string>& unit_labels() const { return unit_labels_; }
+
+  /// Inserts or replaces a cell.
+  void Insert(CubeCell cell);
+
+  /// Cell at the given coordinates, or nullptr.
+  const CubeCell* Find(const CellCoordinates& coords) const;
+  const CubeCell* Find(const fpm::Itemset& sa, const fpm::Itemset& ca) const;
+
+  size_t NumCells() const { return cells_.size(); }
+  size_t NumDefinedCells() const;
+
+  /// All cells in deterministic order (by coordinate).
+  std::vector<const CubeCell*> Cells() const;
+
+  /// Cells with the exact SA coordinates (any context).
+  std::vector<const CubeCell*> SliceBySa(const fpm::Itemset& sa) const;
+
+  /// Cells with the exact CA coordinates (any subgroup).
+  std::vector<const CubeCell*> SliceByCa(const fpm::Itemset& ca) const;
+
+  /// Roll-up parents of a cell: every coordinate obtained by removing one
+  /// item from SA or from CA (present-in-cube ones only).
+  std::vector<const CubeCell*> Parents(const CellCoordinates& coords) const;
+
+  /// Drill-down children: cells whose coordinates extend `coords` by exactly
+  /// one item (on either axis).
+  std::vector<const CubeCell*> Children(const CellCoordinates& coords) const;
+
+  /// Human-readable cell label: "sex=F & age=young | region=north".
+  std::string LabelOf(const CellCoordinates& coords) const;
+
+  /// CSV export: one row per cell with labels, T, M, n and all six indexes
+  /// ("" for undefined). The format of the paper's cube.csv artifact.
+  std::string ToCsv() const;
+
+ private:
+  relational::ItemCatalog catalog_;
+  std::vector<std::string> unit_labels_;
+  std::unordered_map<CellCoordinates, CubeCell, CellCoordinatesHash> cells_;
+};
+
+}  // namespace cube
+}  // namespace scube
+
+#endif  // SCUBE_CUBE_CUBE_H_

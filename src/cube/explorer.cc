@@ -1,0 +1,117 @@
+#include "cube/explorer.h"
+
+#include <algorithm>
+
+namespace scube {
+namespace cube {
+
+namespace {
+
+bool PassesFilters(const CubeCell& cell, const ExplorerOptions& options) {
+  if (!cell.indexes.defined) return false;
+  if (cell.context_size < options.min_context_size) return false;
+  if (cell.minority_size < options.min_minority_size) return false;
+  if (options.require_nonempty_sa && cell.coords.sa.empty()) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<RankedCell> TopSegregatedContexts(const SegregationCube& cube,
+                                              indexes::IndexKind kind,
+                                              size_t k,
+                                              const ExplorerOptions& options) {
+  std::vector<RankedCell> ranked;
+  for (const CubeCell* cell : cube.Cells()) {
+    if (!PassesFilters(*cell, options)) continue;
+    ranked.push_back(RankedCell{cell, cell->Value(kind)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedCell& a, const RankedCell& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.cell->coords < b.cell->coords;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<SurpriseFinding> DrillDownSurprises(
+    const SegregationCube& cube, indexes::IndexKind kind, double min_delta,
+    const ExplorerOptions& options) {
+  std::vector<SurpriseFinding> out;
+  for (const CubeCell* cell : cube.Cells()) {
+    if (!PassesFilters(*cell, options)) continue;
+    if (cell->coords.sa.empty() && cell->coords.ca.empty()) continue;
+    auto parents = cube.Parents(cell->coords);
+    double best_parent = 0.0;
+    bool any_defined_parent = false;
+    for (const CubeCell* parent : parents) {
+      if (!parent->indexes.defined) continue;
+      any_defined_parent = true;
+      best_parent = std::max(best_parent, parent->Value(kind));
+    }
+    if (!any_defined_parent) continue;
+    double delta = cell->Value(kind) - best_parent;
+    if (delta >= min_delta) {
+      out.push_back(SurpriseFinding{cell, cell->Value(kind), best_parent,
+                                    delta});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SurpriseFinding& a, const SurpriseFinding& b) {
+              if (a.delta != b.delta) return a.delta > b.delta;
+              return a.cell->coords < b.cell->coords;
+            });
+  return out;
+}
+
+std::vector<GranularityReversal> FindGranularityReversals(
+    const SegregationCube& cube, indexes::IndexKind kind, double min_gap,
+    const ExplorerOptions& options) {
+  std::vector<GranularityReversal> out;
+  for (const CubeCell* parent : cube.Cells()) {
+    if (!PassesFilters(*parent, options)) continue;
+    // CA-children only: same subgroup, context refined by one item.
+    std::vector<const CubeCell*> children;
+    for (const CubeCell* child : cube.Children(parent->coords)) {
+      if (child->coords.sa == parent->coords.sa &&
+          child->indexes.defined &&
+          child->context_size >= options.min_context_size &&
+          child->minority_size >= options.min_minority_size) {
+        children.push_back(child);
+      }
+    }
+    if (children.size() < 2) continue;
+
+    double parent_value = parent->Value(kind);
+    bool all_above = true, all_below = true;
+    double min_child = 1e300, max_child = -1e300;
+    for (const CubeCell* child : children) {
+      double v = child->Value(kind);
+      min_child = std::min(min_child, v);
+      max_child = std::max(max_child, v);
+      if (v < parent_value + min_gap) all_above = false;
+      if (v > parent_value - min_gap) all_below = false;
+    }
+    if (all_above) {
+      out.push_back(GranularityReversal{parent, children, parent_value,
+                                        min_child, true});
+    } else if (all_below) {
+      out.push_back(GranularityReversal{parent, children, parent_value,
+                                        max_child, false});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GranularityReversal& a, const GranularityReversal& b) {
+              double ga = a.children_higher ? a.min_child_value - a.parent_value
+                                            : a.parent_value - a.min_child_value;
+              double gb = b.children_higher ? b.min_child_value - b.parent_value
+                                            : b.parent_value - b.min_child_value;
+              if (ga != gb) return ga > gb;
+              return a.parent->coords < b.parent->coords;
+            });
+  return out;
+}
+
+}  // namespace cube
+}  // namespace scube

@@ -1,0 +1,78 @@
+// Explorer: exploratory-analysis queries over a built cube — the
+// "discovery" part of segregation discovery (top-k contexts, drill-down
+// surprise, Simpson-style granularity reversals).
+
+#ifndef SCUBE_CUBE_EXPLORER_H_
+#define SCUBE_CUBE_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/cube.h"
+
+namespace scube {
+namespace cube {
+
+/// \brief Filters for exploration queries.
+struct ExplorerOptions {
+  /// Only cells whose context population T is at least this.
+  uint64_t min_context_size = 30;
+
+  /// Only cells whose minority population M is at least this.
+  uint64_t min_minority_size = 5;
+
+  /// Only cells with a non-⋆ minority subgroup (pure-context cells carry no
+  /// segregation reading).
+  bool require_nonempty_sa = true;
+};
+
+/// \brief A ranked finding.
+struct RankedCell {
+  const CubeCell* cell = nullptr;
+  double value = 0.0;
+};
+
+/// Top-k cells by the given index, descending, among defined cells passing
+/// the filters.
+std::vector<RankedCell> TopSegregatedContexts(
+    const SegregationCube& cube, indexes::IndexKind kind, size_t k,
+    const ExplorerOptions& options = ExplorerOptions());
+
+/// \brief A drill-down surprise: a cell whose index deviates strongly from
+/// every roll-up parent.
+struct SurpriseFinding {
+  const CubeCell* cell = nullptr;
+  double value = 0.0;
+  double best_parent_value = 0.0;  ///< max index among parents
+  double delta = 0.0;              ///< value - best_parent_value
+};
+
+/// Cells whose index exceeds all their parents by at least `min_delta`
+/// (sorted by delta, descending). These are the contexts an analyst would
+/// miss at coarser granularity.
+std::vector<SurpriseFinding> DrillDownSurprises(
+    const SegregationCube& cube, indexes::IndexKind kind, double min_delta,
+    const ExplorerOptions& options = ExplorerOptions());
+
+/// \brief A Simpson-style granularity reversal: a parent cell that looks
+/// integrated while every refinement of it along one attribute looks
+/// segregated (or vice versa).
+struct GranularityReversal {
+  const CubeCell* parent = nullptr;
+  std::vector<const CubeCell*> children;
+  double parent_value = 0.0;
+  double min_child_value = 0.0;
+  bool children_higher = true;  ///< all children above parent (masking)
+};
+
+/// Finds parents whose every child (>= 2 children, same SA, CA extended by
+/// one item) sits on the other side of the parent by at least `min_gap`.
+std::vector<GranularityReversal> FindGranularityReversals(
+    const SegregationCube& cube, indexes::IndexKind kind, double min_gap,
+    const ExplorerOptions& options = ExplorerOptions());
+
+}  // namespace cube
+}  // namespace scube
+
+#endif  // SCUBE_CUBE_EXPLORER_H_

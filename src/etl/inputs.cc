@@ -1,0 +1,27 @@
+#include "etl/inputs.h"
+
+namespace scube {
+namespace etl {
+
+Status ScubeInputs::Validate() const {
+  if (membership.NumIndividuals() != individuals.NumRows()) {
+    return Status::FailedPrecondition(
+        "membership expects " + std::to_string(membership.NumIndividuals()) +
+        " individuals, table has " + std::to_string(individuals.NumRows()));
+  }
+  if (membership.NumGroups() != groups.NumRows()) {
+    return Status::FailedPrecondition(
+        "membership expects " + std::to_string(membership.NumGroups()) +
+        " groups, table has " + std::to_string(groups.NumRows()));
+  }
+  using relational::AttributeKind;
+  if (!groups.schema().IndicesOfKind(AttributeKind::kSegregation).empty()) {
+    return Status::FailedPrecondition(
+        "groups must not carry segregation attributes (paper §3: groups "
+        "are contexts, not subjects)");
+  }
+  return Status::OK();
+}
+
+}  // namespace etl
+}  // namespace scube

@@ -1,0 +1,48 @@
+// ScubeInputs: the four inputs of the SCube process (paper Fig. 2/3):
+// individuals, groups, membership (with optional validity intervals), and
+// snapshot dates.
+
+#ifndef SCUBE_ETL_INPUTS_H_
+#define SCUBE_ETL_INPUTS_H_
+
+#include <vector>
+
+#include "graph/bipartite.h"
+#include "relational/table.h"
+
+namespace scube {
+namespace etl {
+
+/// \brief The bundle of SCube inputs.
+///
+/// `individuals` carries one row per person: an id attribute plus SA and CA
+/// attributes. `groups` carries one row per organisation: an id attribute
+/// plus CA attributes only (groups are contexts, not subjects — paper §3).
+/// `membership` links *row indices* of the two tables (loaders translate
+/// external ids). `snapshot_dates` selects the temporal snapshots analysed.
+struct ScubeInputs {
+  relational::Table individuals;
+  relational::Table groups;
+  graph::BipartiteGraph membership;
+  std::vector<graph::Date> snapshot_dates;
+
+  ScubeInputs()
+      : individuals(relational::Schema{}),
+        groups(relational::Schema{}),
+        membership(0, 0) {}
+
+  ScubeInputs(relational::Table individuals_in, relational::Table groups_in,
+              graph::BipartiteGraph membership_in)
+      : individuals(std::move(individuals_in)),
+        groups(std::move(groups_in)),
+        membership(std::move(membership_in)) {}
+
+  /// Sanity checks: membership endpoints within table sizes; the groups
+  /// table has no segregation attributes.
+  Status Validate() const;
+};
+
+}  // namespace etl
+}  // namespace scube
+
+#endif  // SCUBE_ETL_INPUTS_H_

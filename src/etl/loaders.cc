@@ -1,0 +1,120 @@
+#include "etl/loaders.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace scube {
+namespace etl {
+
+namespace {
+
+using relational::AttributeKind;
+using relational::Table;
+
+// Builds external-id -> row-index map from the table's kId column.
+Result<std::unordered_map<int64_t, uint32_t>> IdIndex(const Table& table) {
+  auto id_cols = table.schema().IndicesOfKind(AttributeKind::kId);
+  if (id_cols.size() != 1) {
+    return Status::FailedPrecondition("entity table needs exactly one id "
+                                      "attribute");
+  }
+  if (table.schema().attribute(id_cols[0]).type !=
+      relational::ColumnType::kInt64) {
+    return Status::FailedPrecondition("id attribute must be int64");
+  }
+  std::unordered_map<int64_t, uint32_t> index;
+  index.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    int64_t id = table.Int64Value(r, id_cols[0]);
+    auto [it, inserted] = index.emplace(id, static_cast<uint32_t>(r));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate entity id " +
+                                     std::to_string(id));
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+Result<ScubeInputs> LoadInputsFromCsv(const CsvDocument& individuals_doc,
+                                      const relational::Schema& ind_schema,
+                                      const CsvDocument& groups_doc,
+                                      const relational::Schema& grp_schema,
+                                      const CsvDocument& membership_doc,
+                                      const MembershipCsvFormat& format) {
+  auto individuals = Table::FromCsv(individuals_doc, ind_schema);
+  if (!individuals.ok()) {
+    return individuals.status().WithContext("individuals");
+  }
+  auto groups = Table::FromCsv(groups_doc, grp_schema);
+  if (!groups.ok()) return groups.status().WithContext("groups");
+
+  auto ind_index = IdIndex(individuals.value());
+  if (!ind_index.ok()) return ind_index.status().WithContext("individuals");
+  auto grp_index = IdIndex(groups.value());
+  if (!grp_index.ok()) return grp_index.status().WithContext("groups");
+
+  int ind_col = membership_doc.ColumnIndex(format.individual_column);
+  int grp_col = membership_doc.ColumnIndex(format.group_column);
+  if (ind_col < 0 || grp_col < 0) {
+    return Status::NotFound("membership CSV must have columns '" +
+                            format.individual_column + "' and '" +
+                            format.group_column + "'");
+  }
+  int from_col = membership_doc.ColumnIndex(format.valid_from_column);
+  int to_col = membership_doc.ColumnIndex(format.valid_to_column);
+
+  graph::BipartiteGraph membership(
+      static_cast<uint32_t>(individuals->NumRows()),
+      static_cast<uint32_t>(groups->NumRows()));
+  for (size_t r = 0; r < membership_doc.rows.size(); ++r) {
+    const auto& row = membership_doc.rows[r];
+    auto ind_id = ParseInt64(row[static_cast<size_t>(ind_col)]);
+    auto grp_id = ParseInt64(row[static_cast<size_t>(grp_col)]);
+    if (!ind_id.ok()) {
+      return ind_id.status().WithContext("membership row " +
+                                         std::to_string(r));
+    }
+    if (!grp_id.ok()) {
+      return grp_id.status().WithContext("membership row " +
+                                         std::to_string(r));
+    }
+    auto ind_it = ind_index->find(ind_id.value());
+    if (ind_it == ind_index->end()) {
+      return Status::NotFound("membership row " + std::to_string(r) +
+                              " references unknown individual " +
+                              std::to_string(ind_id.value()));
+    }
+    auto grp_it = grp_index->find(grp_id.value());
+    if (grp_it == grp_index->end()) {
+      return Status::NotFound("membership row " + std::to_string(r) +
+                              " references unknown group " +
+                              std::to_string(grp_id.value()));
+    }
+    graph::Date from = graph::kDateMin;
+    graph::Date to = graph::kDateMax;
+    if (from_col >= 0 && !row[static_cast<size_t>(from_col)].empty()) {
+      auto v = ParseInt64(row[static_cast<size_t>(from_col)]);
+      if (!v.ok()) return v.status().WithContext("membership 'from'");
+      from = v.value();
+    }
+    if (to_col >= 0 && !row[static_cast<size_t>(to_col)].empty()) {
+      auto v = ParseInt64(row[static_cast<size_t>(to_col)]);
+      if (!v.ok()) return v.status().WithContext("membership 'to'");
+      to = v.value();
+    }
+    Status s = membership.AddMembership(ind_it->second, grp_it->second, from,
+                                        to);
+    if (!s.ok()) return s.WithContext("membership row " + std::to_string(r));
+  }
+
+  ScubeInputs inputs(std::move(individuals).value(), std::move(groups).value(),
+                     std::move(membership));
+  SCUBE_RETURN_IF_ERROR(inputs.Validate());
+  return inputs;
+}
+
+}  // namespace etl
+}  // namespace scube

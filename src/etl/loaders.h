@@ -1,0 +1,37 @@
+// CSV loaders for the SCube inputs (individual.csv, group.csv,
+// individualGroup.csv — paper Fig. 3).
+
+#ifndef SCUBE_ETL_LOADERS_H_
+#define SCUBE_ETL_LOADERS_H_
+
+#include <string>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "etl/inputs.h"
+
+namespace scube {
+namespace etl {
+
+/// \brief Column naming for the membership CSV.
+struct MembershipCsvFormat {
+  std::string individual_column = "individualID";
+  std::string group_column = "groupID";
+  /// Optional validity columns; when absent, edges are valid forever.
+  std::string valid_from_column = "from";
+  std::string valid_to_column = "to";
+};
+
+/// Loads the three CSV documents into ScubeInputs. The id attribute of each
+/// entity table (kind kId, int64) keys the membership references; unknown
+/// ids in the membership file are an error.
+Result<ScubeInputs> LoadInputsFromCsv(
+    const CsvDocument& individuals_doc, const relational::Schema& ind_schema,
+    const CsvDocument& groups_doc, const relational::Schema& grp_schema,
+    const CsvDocument& membership_doc,
+    const MembershipCsvFormat& format = MembershipCsvFormat());
+
+}  // namespace etl
+}  // namespace scube
+
+#endif  // SCUBE_ETL_LOADERS_H_

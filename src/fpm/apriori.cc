@@ -1,0 +1,145 @@
+#include "fpm/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace scube {
+namespace fpm {
+
+namespace {
+
+// Canonical key for a sorted item vector (for candidate hash lookups).
+struct VecHash {
+  size_t operator()(const std::vector<ItemId>& v) const {
+    uint64_t h = 0xA9F1E3ULL;
+    for (ItemId i : v) h = h * 0x100000001B3ULL + i + 1;
+    return static_cast<size_t>(h);
+  }
+};
+
+using CandidateCounts =
+    std::unordered_map<std::vector<ItemId>, uint64_t, VecHash>;
+
+// Enumerate all k-subsets of `t` (restricted to frequent items) that are
+// candidate keys, incrementing their counters.
+void CountSubsets(const std::vector<ItemId>& t, size_t k, size_t start,
+                  std::vector<ItemId>* current, CandidateCounts* counts) {
+  if (current->size() == k) {
+    auto it = counts->find(*current);
+    if (it != counts->end()) ++it->second;
+    return;
+  }
+  size_t needed = k - current->size();
+  for (size_t i = start; i + needed <= t.size(); ++i) {
+    current->push_back(t[i]);
+    CountSubsets(t, k, i + 1, current, counts);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> AprioriMiner::Mine(
+    const TransactionDb& db, const MinerOptions& options) const {
+  SCUBE_RETURN_IF_ERROR(ValidateMinerOptions(options));
+  std::vector<FrequentItemset> out;
+  if (options.include_empty) {
+    out.push_back({Itemset(), db.NumTransactions()});
+  }
+
+  // L1: frequent items.
+  std::vector<ItemId> frequent_items;
+  for (ItemId item = 0; item < db.NumItems(); ++item) {
+    uint64_t support = db.ItemSupport(item);
+    if (support >= options.min_support) {
+      frequent_items.push_back(item);
+      out.push_back({Itemset({item}), support});
+    }
+  }
+  std::unordered_set<ItemId> frequent_set(frequent_items.begin(),
+                                          frequent_items.end());
+
+  // Project transactions onto frequent items once.
+  std::vector<std::vector<ItemId>> projected;
+  projected.reserve(db.NumTransactions());
+  for (uint32_t tid = 0; tid < db.NumTransactions(); ++tid) {
+    std::vector<ItemId> filtered;
+    for (ItemId item : db.Transaction(tid)) {
+      if (frequent_set.count(item)) filtered.push_back(item);
+    }
+    projected.push_back(std::move(filtered));
+  }
+
+  // Previous level, sorted lexicographically (required by the prefix join).
+  std::vector<std::vector<ItemId>> prev_level;
+  for (ItemId item : frequent_items) prev_level.push_back({item});
+  std::sort(prev_level.begin(), prev_level.end());
+
+  for (size_t k = 2; k <= options.max_length && prev_level.size() >= 2; ++k) {
+    // Join step: pairs sharing the first k-2 items.
+    std::unordered_set<std::vector<ItemId>, VecHash> prev_set(
+        prev_level.begin(), prev_level.end());
+    CandidateCounts candidates;
+    for (size_t i = 0; i < prev_level.size(); ++i) {
+      for (size_t j = i + 1; j < prev_level.size(); ++j) {
+        const auto& a = prev_level[i];
+        const auto& b = prev_level[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+        std::vector<ItemId> candidate = a;
+        candidate.push_back(b.back());
+        if (candidate[k - 2] > candidate[k - 1]) {
+          std::swap(candidate[k - 2], candidate[k - 1]);
+        }
+        // Prune: all (k-1)-subsets must be frequent.
+        bool all_frequent = true;
+        std::vector<ItemId> subset(candidate.begin(), candidate.end() - 1);
+        for (size_t drop = 0; drop + 1 <= k; ++drop) {
+          subset.assign(candidate.begin(), candidate.end());
+          subset.erase(subset.begin() + static_cast<ptrdiff_t>(drop));
+          if (!prev_set.count(subset)) {
+            all_frequent = false;
+            break;
+          }
+        }
+        if (all_frequent) candidates.emplace(std::move(candidate), 0);
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Count step.
+    std::vector<ItemId> scratch;
+    for (const auto& t : projected) {
+      if (t.size() < k) continue;
+      scratch.clear();
+      CountSubsets(t, k, 0, &scratch, &candidates);
+    }
+
+    // Harvest the frequent candidates.
+    std::vector<std::vector<ItemId>> next_level;
+    for (const auto& [items, support] : candidates) {
+      if (support >= options.min_support) {
+        out.push_back({Itemset(items), support});
+        next_level.push_back(items);
+      }
+    }
+    std::sort(next_level.begin(), next_level.end());
+    prev_level = std::move(next_level);
+  }
+
+  switch (options.mode) {
+    case MineMode::kAll:
+      break;
+    case MineMode::kClosed:
+      out = FilterClosed(std::move(out));
+      break;
+    case MineMode::kMaximal:
+      out = FilterMaximal(std::move(out));
+      break;
+  }
+  SortItemsets(&out);
+  return out;
+}
+
+}  // namespace fpm
+}  // namespace scube

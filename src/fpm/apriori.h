@@ -1,0 +1,27 @@
+// Apriori: classic level-wise frequent-itemset mining (baseline engine).
+
+#ifndef SCUBE_FPM_APRIORI_H_
+#define SCUBE_FPM_APRIORI_H_
+
+#include "fpm/miner.h"
+
+namespace scube {
+namespace fpm {
+
+/// \brief Level-wise candidate-generation miner (Agrawal & Srikant).
+///
+/// Candidates of size k are joined from frequent (k-1)-sets sharing a
+/// (k-2)-prefix, pruned by the downward-closure property, and counted by
+/// enumerating k-subsets of each (frequent-item-filtered) transaction.
+class AprioriMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "apriori"; }
+
+  Result<std::vector<FrequentItemset>> Mine(
+      const TransactionDb& db, const MinerOptions& options) const override;
+};
+
+}  // namespace fpm
+}  // namespace scube
+
+#endif  // SCUBE_FPM_APRIORI_H_

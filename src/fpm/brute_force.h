@@ -1,0 +1,26 @@
+// Brute-force reference miner: exhaustive DFS with per-set transaction scans.
+//
+// Exponential; only for tests (ground truth on small inputs) and as the
+// pedagogical baseline in the mining benchmark.
+
+#ifndef SCUBE_FPM_BRUTE_FORCE_H_
+#define SCUBE_FPM_BRUTE_FORCE_H_
+
+#include "fpm/miner.h"
+
+namespace scube {
+namespace fpm {
+
+/// \brief Exhaustive reference implementation of FrequentItemsetMiner.
+class BruteForceMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "brute-force"; }
+
+  Result<std::vector<FrequentItemset>> Mine(
+      const TransactionDb& db, const MinerOptions& options) const override;
+};
+
+}  // namespace fpm
+}  // namespace scube
+
+#endif  // SCUBE_FPM_BRUTE_FORCE_H_

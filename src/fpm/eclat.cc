@@ -1,0 +1,82 @@
+#include "fpm/eclat.h"
+
+#include <algorithm>
+
+namespace scube {
+namespace fpm {
+
+namespace {
+
+struct EclatNodeItem {
+  ItemId item;
+  EwahBitmap cover;
+  uint64_t support;
+};
+
+void Dfs(const std::vector<EclatNodeItem>& siblings, size_t pos,
+         std::vector<ItemId>* prefix, const MinerOptions& options,
+         std::vector<FrequentItemset>* out) {
+  const EclatNodeItem& node = siblings[pos];
+  prefix->push_back(node.item);
+  out->push_back({Itemset(*prefix), node.support});
+
+  if (prefix->size() < options.max_length) {
+    std::vector<EclatNodeItem> children;
+    for (size_t j = pos + 1; j < siblings.size(); ++j) {
+      uint64_t support = node.cover.AndCardinality(siblings[j].cover);
+      if (support >= options.min_support) {
+        children.push_back(
+            {siblings[j].item, node.cover.And(siblings[j].cover), support});
+      }
+    }
+    for (size_t j = 0; j < children.size(); ++j) {
+      Dfs(children, j, prefix, options, out);
+    }
+  }
+  prefix->pop_back();
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> EclatMiner::Mine(
+    const TransactionDb& db, const MinerOptions& options) const {
+  SCUBE_RETURN_IF_ERROR(ValidateMinerOptions(options));
+  std::vector<FrequentItemset> out;
+  if (options.include_empty) {
+    out.push_back({Itemset(), db.NumTransactions()});
+  }
+
+  std::vector<EclatNodeItem> roots;
+  for (ItemId item = 0; item < db.NumItems(); ++item) {
+    uint64_t support = db.ItemSupport(item);
+    if (support >= options.min_support) {
+      roots.push_back({item, db.ItemCover(item), support});
+    }
+  }
+  // Ascending support: small covers first keeps intermediate tidsets small.
+  std::stable_sort(roots.begin(), roots.end(),
+                   [](const EclatNodeItem& a, const EclatNodeItem& b) {
+                     return a.support < b.support;
+                   });
+
+  std::vector<ItemId> prefix;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    Dfs(roots, i, &prefix, options, &out);
+  }
+
+  switch (options.mode) {
+    case MineMode::kAll:
+      break;
+    case MineMode::kClosed:
+      out = FilterClosed(std::move(out));
+      break;
+    case MineMode::kMaximal:
+      out = FilterMaximal(std::move(out));
+      break;
+  }
+  SortItemsets(&out);
+  return out;
+}
+
+}  // namespace fpm
+}  // namespace scube

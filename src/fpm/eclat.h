@@ -1,0 +1,27 @@
+// Eclat: depth-first tidset-intersection mining over EWAH covers.
+
+#ifndef SCUBE_FPM_ECLAT_H_
+#define SCUBE_FPM_ECLAT_H_
+
+#include "fpm/miner.h"
+
+namespace scube {
+namespace fpm {
+
+/// \brief Vertical-layout miner (Zaki's Eclat) on compressed bitmaps.
+///
+/// Each DFS node carries the EWAH cover of its prefix; children intersect
+/// with sibling item covers. This is also the engine that demonstrates what
+/// the EWAH substrate buys: cover intersections dominate its runtime.
+class EclatMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "eclat"; }
+
+  Result<std::vector<FrequentItemset>> Mine(
+      const TransactionDb& db, const MinerOptions& options) const override;
+};
+
+}  // namespace fpm
+}  // namespace scube
+
+#endif  // SCUBE_FPM_ECLAT_H_

@@ -1,0 +1,27 @@
+// FP-Growth: the production frequent-itemset engine (Han et al.).
+//
+// From-scratch replacement for the Borgelt FPGrowth binary the original
+// SCube shells out to. Implements the standard FP-tree with header chains,
+// recursive conditional trees, and the single-prefix-path shortcut.
+
+#ifndef SCUBE_FPM_FPGROWTH_H_
+#define SCUBE_FPM_FPGROWTH_H_
+
+#include "fpm/miner.h"
+
+namespace scube {
+namespace fpm {
+
+/// \brief FP-tree based miner; the default engine of the cube builder.
+class FpGrowthMiner : public FrequentItemsetMiner {
+ public:
+  std::string Name() const override { return "fpgrowth"; }
+
+  Result<std::vector<FrequentItemset>> Mine(
+      const TransactionDb& db, const MinerOptions& options) const override;
+};
+
+}  // namespace fpm
+}  // namespace scube
+
+#endif  // SCUBE_FPM_FPGROWTH_H_

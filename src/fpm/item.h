@@ -1,0 +1,24 @@
+// Item identifiers for transaction databases.
+//
+// Items are dense 32-bit codes. The mapping from (attribute, value) pairs to
+// items is owned by the relational layer (relational/transactions.h); the
+// mining substrate is agnostic to what an item denotes.
+
+#ifndef SCUBE_FPM_ITEM_H_
+#define SCUBE_FPM_ITEM_H_
+
+#include <cstdint>
+
+namespace scube {
+namespace fpm {
+
+/// Dense item code; items are assigned 0..NumItems-1 by the encoder.
+using ItemId = uint32_t;
+
+/// Sentinel for "no item".
+inline constexpr ItemId kInvalidItem = 0xFFFFFFFFu;
+
+}  // namespace fpm
+}  // namespace scube
+
+#endif  // SCUBE_FPM_ITEM_H_

@@ -1,0 +1,56 @@
+#include "graph/bipartite.h"
+
+#include <algorithm>
+
+namespace scube {
+namespace graph {
+
+Status BipartiteGraph::AddMembership(NodeId individual, NodeId group) {
+  return AddMembership(individual, group, kDateMin, kDateMax);
+}
+
+Status BipartiteGraph::AddMembership(NodeId individual, NodeId group,
+                                     Date from, Date to) {
+  if (individual >= num_individuals_) {
+    return Status::OutOfRange("individual id " + std::to_string(individual) +
+                              " out of range");
+  }
+  if (group >= num_groups_) {
+    return Status::OutOfRange("group id " + std::to_string(group) +
+                              " out of range");
+  }
+  if (from >= to) {
+    return Status::InvalidArgument("empty validity interval");
+  }
+  memberships_.push_back(Membership{individual, group, from, to});
+  return Status::OK();
+}
+
+std::vector<std::vector<NodeId>> BipartiteGraph::GroupsByIndividual(
+    Date date) const {
+  std::vector<std::vector<NodeId>> out(num_individuals_);
+  for (const Membership& m : memberships_) {
+    if (m.ActiveAt(date)) out[m.individual].push_back(m.group);
+  }
+  for (auto& groups : out) {
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> BipartiteGraph::IndividualsByGroup(
+    Date date) const {
+  std::vector<std::vector<NodeId>> out(num_groups_);
+  for (const Membership& m : memberships_) {
+    if (m.ActiveAt(date)) out[m.group].push_back(m.individual);
+  }
+  for (auto& members : out) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace scube

@@ -1,0 +1,71 @@
+// BipartiteGraph: individuals x groups membership with validity intervals.
+//
+// Matches the paper's `membership` input: pairs (individualID, groupID),
+// optionally labelled with a time interval of validity (the Estonian
+// dataset), enabling temporal snapshots.
+
+#ifndef SCUBE_GRAPH_BIPARTITE_H_
+#define SCUBE_GRAPH_BIPARTITE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace scube {
+namespace graph {
+
+/// Days since epoch (any consistent integer calendar works).
+using Date = int64_t;
+
+inline constexpr Date kDateMin = std::numeric_limits<Date>::min();
+inline constexpr Date kDateMax = std::numeric_limits<Date>::max();
+
+/// \brief One membership edge with right-open validity [from, to).
+struct Membership {
+  NodeId individual = 0;
+  NodeId group = 0;
+  Date valid_from = kDateMin;
+  Date valid_to = kDateMax;
+
+  bool ActiveAt(Date date) const {
+    return valid_from <= date && date < valid_to;
+  }
+};
+
+/// \brief Append-only bipartite membership graph.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(uint32_t num_individuals, uint32_t num_groups)
+      : num_individuals_(num_individuals), num_groups_(num_groups) {}
+
+  uint32_t NumIndividuals() const { return num_individuals_; }
+  uint32_t NumGroups() const { return num_groups_; }
+  size_t NumMemberships() const { return memberships_.size(); }
+
+  /// Adds a membership valid forever.
+  Status AddMembership(NodeId individual, NodeId group);
+
+  /// Adds a membership valid in [from, to).
+  Status AddMembership(NodeId individual, NodeId group, Date from, Date to);
+
+  const std::vector<Membership>& memberships() const { return memberships_; }
+
+  /// Per-individual group lists active at `date` (index = individual).
+  std::vector<std::vector<NodeId>> GroupsByIndividual(Date date) const;
+
+  /// Per-group individual lists active at `date` (index = group).
+  std::vector<std::vector<NodeId>> IndividualsByGroup(Date date) const;
+
+ private:
+  uint32_t num_individuals_;
+  uint32_t num_groups_;
+  std::vector<Membership> memberships_;
+};
+
+}  // namespace graph
+}  // namespace scube
+
+#endif  // SCUBE_GRAPH_BIPARTITE_H_

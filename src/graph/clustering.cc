@@ -1,0 +1,105 @@
+#include "graph/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scube {
+namespace graph {
+
+std::vector<uint32_t> Clustering::ClusterSizes() const {
+  std::vector<uint32_t> sizes(num_clusters, 0);
+  for (uint32_t label : labels) ++sizes[label];
+  return sizes;
+}
+
+uint32_t Clustering::GiantSize() const {
+  uint32_t giant = 0;
+  for (uint32_t size : ClusterSizes()) giant = std::max(giant, size);
+  return giant;
+}
+
+std::vector<std::vector<NodeId>> Clustering::Members() const {
+  std::vector<std::vector<NodeId>> out(num_clusters);
+  for (NodeId u = 0; u < labels.size(); ++u) out[labels[u]].push_back(u);
+  return out;
+}
+
+Clustering NormalizeLabels(std::vector<uint32_t> raw_labels) {
+  Clustering out;
+  out.labels.resize(raw_labels.size());
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (size_t i = 0; i < raw_labels.size(); ++i) {
+    auto [it, inserted] =
+        remap.emplace(raw_labels[i], static_cast<uint32_t>(remap.size()));
+    out.labels[i] = it->second;
+  }
+  out.num_clusters = static_cast<uint32_t>(remap.size());
+  return out;
+}
+
+double Modularity(const Graph& graph, const Clustering& clustering) {
+  double total = graph.TotalWeight();
+  if (total <= 0.0) return 0.0;
+  // Q = sum_c [ in_c/W2 - (deg_c/W2)^2 ], W2 = 2W, in_c = 2 * intra weight.
+  std::vector<double> intra(clustering.num_clusters, 0.0);
+  std::vector<double> degree(clustering.num_clusters, 0.0);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    uint32_t cu = clustering.labels[u];
+    for (const Graph::Neighbor& n : graph.Neighbors(u)) {
+      degree[cu] += n.weight;
+      if (clustering.labels[n.node] == cu && u < n.node) {
+        intra[cu] += n.weight;
+      }
+    }
+  }
+  double w2 = 2.0 * total;
+  double q = 0.0;
+  for (uint32_t c = 0; c < clustering.num_clusters; ++c) {
+    q += 2.0 * intra[c] / w2 - (degree[c] / w2) * (degree[c] / w2);
+  }
+  return q;
+}
+
+double IntraClusterWeightFraction(const Graph& graph,
+                                  const Clustering& clustering) {
+  double total = graph.TotalWeight();
+  if (total <= 0.0) return 0.0;
+  double intra = 0.0;
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (const Graph::Neighbor& n : graph.Neighbors(u)) {
+      if (u < n.node && clustering.labels[u] == clustering.labels[n.node]) {
+        intra += n.weight;
+      }
+    }
+  }
+  return intra / total;
+}
+
+double AttributeHomogeneity(const NodeAttributes& attributes,
+                            const Clustering& clustering, Rng* rng,
+                            uint32_t num_samples) {
+  auto members = clustering.Members();
+  // Keep only clusters that can form pairs.
+  std::vector<const std::vector<NodeId>*> eligible;
+  std::vector<double> weights;
+  for (const auto& m : members) {
+    if (m.size() >= 2) {
+      eligible.push_back(&m);
+      weights.push_back(static_cast<double>(m.size()));
+    }
+  }
+  if (eligible.empty() || num_samples == 0) return 0.0;
+  double sum = 0.0;
+  for (uint32_t s = 0; s < num_samples; ++s) {
+    size_t c = rng->NextCategorical(weights);
+    const auto& m = *eligible[c];
+    NodeId a = m[rng->NextBounded(m.size())];
+    NodeId b = m[rng->NextBounded(m.size())];
+    while (b == a) b = m[rng->NextBounded(m.size())];
+    sum += attributes.Jaccard(a, b);
+  }
+  return sum / num_samples;
+}
+
+}  // namespace graph
+}  // namespace scube

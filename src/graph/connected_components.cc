@@ -1,0 +1,35 @@
+#include "graph/connected_components.h"
+
+#include <queue>
+
+namespace scube {
+namespace graph {
+
+Clustering ConnectedComponents(const Graph& graph) {
+  constexpr uint32_t kUnvisited = 0xFFFFFFFFu;
+  Clustering out;
+  out.labels.assign(graph.NumNodes(), kUnvisited);
+  uint32_t next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < graph.NumNodes(); ++start) {
+    if (out.labels[start] != kUnvisited) continue;
+    out.labels[start] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      for (const Graph::Neighbor& n : graph.Neighbors(u)) {
+        if (out.labels[n.node] == kUnvisited) {
+          out.labels[n.node] = next;
+          frontier.push(n.node);
+        }
+      }
+    }
+    ++next;
+  }
+  out.num_clusters = next;
+  return out;
+}
+
+}  // namespace graph
+}  // namespace scube

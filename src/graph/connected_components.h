@@ -1,0 +1,21 @@
+// Connected components via BFS — the first GraphClustering method of the
+// paper ("extraction of connected components (Breadth-First Search)").
+
+#ifndef SCUBE_GRAPH_CONNECTED_COMPONENTS_H_
+#define SCUBE_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include "graph/clustering.h"
+#include "graph/graph.h"
+
+namespace scube {
+namespace graph {
+
+/// Partitions the graph into its connected components. Isolated nodes each
+/// form a singleton component. Component ids are assigned in order of the
+/// smallest contained node.
+Clustering ConnectedComponents(const Graph& graph);
+
+}  // namespace graph
+}  // namespace scube
+
+#endif  // SCUBE_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,63 @@
+#include "graph/projection.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scube {
+namespace graph {
+
+Result<ProjectionResult> ProjectBipartite(const BipartiteGraph& bipartite,
+                                          const ProjectionOptions& options) {
+  if (options.min_weight < 0.0) {
+    return Status::InvalidArgument("min_weight must be non-negative");
+  }
+
+  // Pivot lists: for each entity on the non-projected side, the nodes it
+  // connects. Every pivot contributes a clique over its list.
+  std::vector<std::vector<NodeId>> pivots;
+  uint32_t num_nodes;
+  if (options.side == ProjectionSide::kGroups) {
+    pivots = bipartite.GroupsByIndividual(options.date);
+    num_nodes = bipartite.NumGroups();
+  } else {
+    pivots = bipartite.IndividualsByGroup(options.date);
+    num_nodes = bipartite.NumIndividuals();
+  }
+
+  ProjectionResult out;
+  std::unordered_map<uint64_t, double> pair_weight;
+  for (const auto& list : pivots) {
+    if (options.hub_cap > 0 && list.size() > options.hub_cap) {
+      ++out.hubs_skipped;
+      continue;
+    }
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        uint64_t key = (static_cast<uint64_t>(list[i]) << 32) | list[j];
+        pair_weight[key] += 1.0;
+      }
+    }
+  }
+  out.raw_pairs = pair_weight.size();
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(pair_weight.size());
+  for (const auto& [key, weight] : pair_weight) {
+    if (weight >= options.min_weight) {
+      edges.push_back(WeightedEdge{static_cast<NodeId>(key >> 32),
+                                   static_cast<NodeId>(key & 0xFFFFFFFFu),
+                                   weight});
+    }
+  }
+  auto graph = Graph::FromEdges(num_nodes, edges);
+  if (!graph.ok()) return graph.status();
+  out.graph = std::move(graph).value();
+
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (out.graph.Degree(u) == 0) out.isolated.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace scube

@@ -1,0 +1,101 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace scube {
+namespace graph {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.NumNodes();
+  stats.num_edges = graph.NumEdges();
+  uint64_t degree_sum = 0;
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    uint32_t d = graph.Degree(u);
+    if (d == 0) ++stats.num_isolated;
+    degree_sum += d;
+    stats.max_degree = std::max(stats.max_degree, d);
+    for (const Graph::Neighbor& n : graph.Neighbors(u)) {
+      if (u < n.node) {
+        stats.max_edge_weight = std::max(stats.max_edge_weight, n.weight);
+      }
+    }
+  }
+  if (graph.NumNodes() > 0) {
+    stats.mean_degree =
+        static_cast<double>(degree_sum) / static_cast<double>(graph.NumNodes());
+  }
+  if (graph.NumEdges() > 0) {
+    stats.mean_edge_weight =
+        graph.TotalWeight() / static_cast<double>(graph.NumEdges());
+  }
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& graph,
+                                      uint32_t max_degree) {
+  std::vector<uint64_t> counts(max_degree + 1, 0);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    ++counts[std::min(graph.Degree(u), max_degree)];
+  }
+  return counts;
+}
+
+double LocalClusteringCoefficient(const Graph& graph, NodeId u) {
+  uint32_t degree = graph.Degree(u);
+  if (degree < 2) return 0.0;
+  auto neighbors = graph.Neighbors(u);
+  uint64_t triangles = 0;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      if (graph.HasEdge(neighbors[i].node, neighbors[j].node)) ++triangles;
+    }
+  }
+  double wedges = 0.5 * degree * (degree - 1);
+  return static_cast<double>(triangles) / wedges;
+}
+
+double MeanClusteringCoefficient(const Graph& graph, Rng* rng,
+                                 uint32_t samples) {
+  if (graph.NumNodes() == 0 || samples == 0) return 0.0;
+  double sum = 0.0;
+  for (uint32_t s = 0; s < samples; ++s) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(graph.NumNodes()));
+    sum += LocalClusteringCoefficient(graph, u);
+  }
+  return sum / samples;
+}
+
+double AdjustedRandIndex(const Clustering& a, const Clustering& b) {
+  SCUBE_CHECK(a.NumNodes() == b.NumNodes());
+  const size_t n = a.NumNodes();
+  if (n < 2) return 1.0;
+
+  // Contingency counts n_ij, row sums a_i, column sums b_j.
+  std::unordered_map<uint64_t, uint64_t> joint;
+  std::vector<uint64_t> row(a.num_clusters, 0), col(b.num_clusters, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = (static_cast<uint64_t>(a.labels[i]) << 32) | b.labels[i];
+    ++joint[key];
+    ++row[a.labels[i]];
+    ++col[b.labels[i]];
+  }
+  auto choose2 = [](uint64_t x) {
+    return static_cast<double>(x) * static_cast<double>(x - 1) / 2.0;
+  };
+  double sum_joint = 0.0, sum_row = 0.0, sum_col = 0.0;
+  for (const auto& [key, count] : joint) sum_joint += choose2(count);
+  for (uint64_t r : row) sum_row += choose2(r);
+  for (uint64_t c : col) sum_col += choose2(c);
+  double total_pairs = choose2(n);
+  double expected = sum_row * sum_col / total_pairs;
+  double max_index = 0.5 * (sum_row + sum_col);
+  if (max_index == expected) return 1.0;  // both trivial partitions
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+}  // namespace graph
+}  // namespace scube

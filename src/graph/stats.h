@@ -1,0 +1,55 @@
+// Graph and clustering statistics: degree/weight distributions, clustering
+// coefficient, and Adjusted Rand Index for comparing a clustering against
+// planted ground truth (used to evaluate the GraphClustering methods).
+
+#ifndef SCUBE_GRAPH_STATS_H_
+#define SCUBE_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/clustering.h"
+#include "graph/graph.h"
+
+namespace scube {
+namespace graph {
+
+/// \brief Summary statistics of a graph.
+struct GraphStats {
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_isolated = 0;
+  double mean_degree = 0.0;
+  uint32_t max_degree = 0;
+  double mean_edge_weight = 0.0;
+  double max_edge_weight = 0.0;
+};
+
+/// Computes basic statistics in one pass.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Degree histogram: counts[d] = number of nodes of degree d (capped at
+/// `max_degree`; larger degrees land in the last bucket).
+std::vector<uint64_t> DegreeHistogram(const Graph& graph,
+                                      uint32_t max_degree = 32);
+
+/// Local clustering coefficient of node `u` (triangles / wedges); 0 for
+/// degree < 2.
+double LocalClusteringCoefficient(const Graph& graph, NodeId u);
+
+/// Mean local clustering coefficient over `samples` random nodes
+/// (deterministic given rng).
+double MeanClusteringCoefficient(const Graph& graph, Rng* rng,
+                                 uint32_t samples = 1000);
+
+/// Adjusted Rand Index between two partitions of the same node set:
+/// 1 = identical, ~0 = random agreement, can be negative. Both clusterings
+/// must cover the same number of nodes.
+double AdjustedRandIndex(const Clustering& a, const Clustering& b);
+
+}  // namespace graph
+}  // namespace scube
+
+#endif  // SCUBE_GRAPH_STATS_H_

@@ -1,0 +1,45 @@
+#include "graph/threshold_clustering.h"
+
+#include <algorithm>
+
+#include "graph/connected_components.h"
+
+namespace scube {
+namespace graph {
+
+Result<Clustering> ThresholdClustering(
+    const Graph& graph, const ThresholdClusteringOptions& opts) {
+  if (opts.min_weight < 0.0) {
+    return Status::InvalidArgument("min_weight must be non-negative");
+  }
+
+  if (!opts.giant_only) {
+    return ConnectedComponents(graph.FilterEdges(opts.min_weight));
+  }
+
+  Clustering base = ConnectedComponents(graph);
+  std::vector<uint32_t> sizes = base.ClusterSizes();
+  uint32_t giant = 0;
+  for (uint32_t c = 1; c < base.num_clusters; ++c) {
+    if (sizes[c] > sizes[giant]) giant = c;
+  }
+
+  // Remove weak edges inside the giant component only.
+  std::vector<WeightedEdge> kept;
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (const Graph::Neighbor& n : graph.Neighbors(u)) {
+      if (u >= n.node) continue;
+      bool in_giant =
+          base.labels[u] == giant && base.labels[n.node] == giant;
+      if (!in_giant || n.weight >= opts.min_weight) {
+        kept.push_back(WeightedEdge{u, n.node, n.weight});
+      }
+    }
+  }
+  auto filtered = Graph::FromEdges(graph.NumNodes(), kept);
+  if (!filtered.ok()) return filtered.status();
+  return ConnectedComponents(filtered.value());
+}
+
+}  // namespace graph
+}  // namespace scube

@@ -1,0 +1,34 @@
+// Weight-threshold clustering — the second GraphClustering method of the
+// paper: "removal of edges from the giant component with weight below a
+// threshold and then extraction of connected components" (designed in [4]).
+
+#ifndef SCUBE_GRAPH_THRESHOLD_CLUSTERING_H_
+#define SCUBE_GRAPH_THRESHOLD_CLUSTERING_H_
+
+#include "common/result.h"
+#include "graph/clustering.h"
+#include "graph/graph.h"
+
+namespace scube {
+namespace graph {
+
+/// \brief Parameters for threshold clustering.
+struct ThresholdClusteringOptions {
+  /// Edges with weight < min_weight are removed before re-extraction.
+  double min_weight = 2.0;
+
+  /// When true (the variant of [4]), the threshold is applied only to edges
+  /// inside the giant component; smaller components are kept intact. When
+  /// false, the threshold applies to every edge.
+  bool giant_only = true;
+};
+
+/// Runs the method: connected components, optional restriction to the giant
+/// component, weak-edge removal, and component re-extraction.
+Result<Clustering> ThresholdClustering(const Graph& graph,
+                                       const ThresholdClusteringOptions& opts);
+
+}  // namespace graph
+}  // namespace scube
+
+#endif  // SCUBE_GRAPH_THRESHOLD_CLUSTERING_H_

@@ -1,0 +1,137 @@
+#include "indexes/multigroup.h"
+
+#include <cmath>
+
+#include "indexes/segregation_index.h"
+
+namespace scube {
+namespace indexes {
+
+Status MultigroupDistribution::AddUnit(
+    const std::vector<uint64_t>& group_counts) {
+  if (group_counts.size() != num_groups_) {
+    return Status::InvalidArgument(
+        "unit has " + std::to_string(group_counts.size()) +
+        " group counts, expected " + std::to_string(num_groups_));
+  }
+  units_.push_back(group_counts);
+  for (size_t g = 0; g < num_groups_; ++g) {
+    group_totals_[g] += group_counts[g];
+    total_ += group_counts[g];
+  }
+  return Status::OK();
+}
+
+uint64_t MultigroupDistribution::UnitTotal(size_t i) const {
+  uint64_t total = 0;
+  for (uint64_t c : units_[i]) total += c;
+  return total;
+}
+
+bool MultigroupDistribution::IsDegenerate() const {
+  if (total_ == 0) return true;
+  size_t nonempty = 0;
+  for (uint64_t g : group_totals_) {
+    if (g > 0) ++nonempty;
+  }
+  return nonempty < 2;
+}
+
+GroupDistribution MultigroupDistribution::BinaryView(size_t group) const {
+  GroupDistribution out;
+  for (size_t i = 0; i < units_.size(); ++i) {
+    out.AddUnit(UnitTotal(i), units_[i][group]);
+  }
+  return out;
+}
+
+namespace {
+
+Status CheckComputable(const MultigroupDistribution& dist) {
+  if (dist.IsDegenerate()) {
+    return Status::FailedPrecondition(
+        "multigroup index needs at least two non-empty groups");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> MultigroupDissimilarity(const MultigroupDistribution& dist) {
+  SCUBE_RETURN_IF_ERROR(CheckComputable(dist));
+  const double total = static_cast<double>(dist.Total());
+  double simpson = 0.0;  // I = sum_g P_g (1 - P_g)
+  for (size_t g = 0; g < dist.num_groups(); ++g) {
+    double pg = static_cast<double>(dist.GroupTotal(g)) / total;
+    simpson += pg * (1.0 - pg);
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < dist.NumUnits(); ++i) {
+    double ti = static_cast<double>(dist.UnitTotal(i));
+    if (ti == 0.0) continue;
+    for (size_t g = 0; g < dist.num_groups(); ++g) {
+      double pig = static_cast<double>(dist.UnitGroup(i, g)) / ti;
+      double pg = static_cast<double>(dist.GroupTotal(g)) / total;
+      sum += ti * std::fabs(pig - pg);
+    }
+  }
+  return sum / (2.0 * total * simpson);
+}
+
+Result<double> MultigroupInformation(const MultigroupDistribution& dist) {
+  SCUBE_RETURN_IF_ERROR(CheckComputable(dist));
+  const double total = static_cast<double>(dist.Total());
+  auto entropy = [](const std::vector<double>& proportions) {
+    double e = 0.0;
+    for (double p : proportions) {
+      if (p > 0.0) e -= p * std::log(p);
+    }
+    return e;
+  };
+  std::vector<double> global;
+  for (size_t g = 0; g < dist.num_groups(); ++g) {
+    global.push_back(static_cast<double>(dist.GroupTotal(g)) / total);
+  }
+  double e_global = entropy(global);
+  if (e_global == 0.0) {
+    return Status::FailedPrecondition("zero global entropy");
+  }
+  double weighted = 0.0;
+  for (size_t i = 0; i < dist.NumUnits(); ++i) {
+    double ti = static_cast<double>(dist.UnitTotal(i));
+    if (ti == 0.0) continue;
+    std::vector<double> local;
+    for (size_t g = 0; g < dist.num_groups(); ++g) {
+      local.push_back(static_cast<double>(dist.UnitGroup(i, g)) / ti);
+    }
+    weighted += ti * entropy(local);
+  }
+  return 1.0 - weighted / (total * e_global);
+}
+
+Result<double> NormalizedExposure(const MultigroupDistribution& dist) {
+  SCUBE_RETURN_IF_ERROR(CheckComputable(dist));
+  const double total = static_cast<double>(dist.Total());
+  double sum = 0.0;
+  for (size_t g = 0; g < dist.num_groups(); ++g) {
+    double pg = static_cast<double>(dist.GroupTotal(g)) / total;
+    if (pg == 0.0 || pg == 1.0) continue;
+    for (size_t i = 0; i < dist.NumUnits(); ++i) {
+      double ti = static_cast<double>(dist.UnitTotal(i));
+      if (ti == 0.0) continue;
+      double pig = static_cast<double>(dist.UnitGroup(i, g)) / ti;
+      sum += ti * (pig - pg) * (pig - pg) / (1.0 - pg);
+    }
+  }
+  return sum / total;
+}
+
+Result<double> CorrelationRatio(const GroupDistribution& dist) {
+  auto isolation = Isolation(dist);
+  if (!isolation.ok()) return isolation.status();
+  double p = dist.MinorityProportion();
+  return (isolation.value() - p) / (1.0 - p);
+}
+
+}  // namespace indexes
+}  // namespace scube

@@ -1,0 +1,70 @@
+// Multigroup segregation indexes (extension beyond the paper's binary set).
+//
+// The paper restricts to binary minority/majority groups; the natural
+// next step in the social-science literature (Reardon & Firebaugh 2002)
+// generalises to k groups. Provided here: multigroup Dissimilarity D*,
+// multigroup Theil H*, the normalised exposure P* and — for the binary
+// case — the correlation ratio V (eta^2), Massey & Denton's sixth evenness
+// candidate.
+
+#ifndef SCUBE_INDEXES_MULTIGROUP_H_
+#define SCUBE_INDEXES_MULTIGROUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "indexes/counts.h"
+
+namespace scube {
+namespace indexes {
+
+/// \brief Per-unit counts for k groups: counts[i][g] = members of group g
+/// in unit i.
+class MultigroupDistribution {
+ public:
+  explicit MultigroupDistribution(size_t num_groups)
+      : num_groups_(num_groups) {}
+
+  /// Appends a unit's per-group counts (size must equal num_groups()).
+  Status AddUnit(const std::vector<uint64_t>& group_counts);
+
+  size_t NumUnits() const { return units_.size(); }
+  size_t num_groups() const { return num_groups_; }
+  uint64_t UnitTotal(size_t i) const;
+  uint64_t UnitGroup(size_t i, size_t g) const { return units_[i][g]; }
+  uint64_t Total() const { return total_; }
+  uint64_t GroupTotal(size_t g) const { return group_totals_[g]; }
+
+  /// True when fewer than two groups are non-empty or T = 0.
+  bool IsDegenerate() const;
+
+  /// Binary projection: group g against the rest.
+  GroupDistribution BinaryView(size_t group) const;
+
+ private:
+  size_t num_groups_;
+  std::vector<std::vector<uint64_t>> units_;
+  std::vector<uint64_t> group_totals_ = std::vector<uint64_t>(num_groups_, 0);
+  uint64_t total_ = 0;
+};
+
+/// Multigroup dissimilarity (Reardon & Firebaugh D):
+///   D = sum_g sum_i t_i |p_ig - P_g| / (2 T I), I = sum_g P_g (1 - P_g).
+Result<double> MultigroupDissimilarity(const MultigroupDistribution& dist);
+
+/// Multigroup information theory index (Theil's H over k groups):
+///   H = 1 - sum_i t_i E_i / (T E), E = entropy of the global group mix.
+Result<double> MultigroupInformation(const MultigroupDistribution& dist);
+
+/// Normalised exposure P* (Reardon & Firebaugh's interaction-based index):
+///   P = sum_g sum_i t_i (p_ig - P_g)^2 / (T (1 - P_g)).
+Result<double> NormalizedExposure(const MultigroupDistribution& dist);
+
+/// Binary correlation ratio V = (xPx - P) / (1 - P), eta-squared.
+Result<double> CorrelationRatio(const GroupDistribution& dist);
+
+}  // namespace indexes
+}  // namespace scube
+
+#endif  // SCUBE_INDEXES_MULTIGROUP_H_

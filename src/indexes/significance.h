@@ -1,0 +1,46 @@
+// Permutation significance test for segregation indexes (extension).
+//
+// Observed index values can be high by chance when units are small. This
+// test draws the null distribution of an index under random assignment of
+// the M minority members across units (multivariate hypergeometric: unit
+// sizes fixed, minority placed uniformly at random) and reports a one-sided
+// p-value for the observed value.
+
+#ifndef SCUBE_INDEXES_SIGNIFICANCE_H_
+#define SCUBE_INDEXES_SIGNIFICANCE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "indexes/counts.h"
+#include "indexes/segregation_index.h"
+
+namespace scube {
+namespace indexes {
+
+/// \brief Result of a permutation test.
+struct SignificanceResult {
+  double observed = 0.0;    ///< index value on the real data
+  double null_mean = 0.0;   ///< mean index under the null
+  double null_stddev = 0.0; ///< stddev under the null
+  double p_value = 1.0;     ///< P(null >= observed), add-one corrected
+  uint32_t num_samples = 0;
+};
+
+/// \brief Options for the permutation test.
+struct SignificanceOptions {
+  uint32_t num_samples = 200;
+  uint64_t seed = 0xC0FFEEULL;
+  IndexParams params;
+};
+
+/// Runs the test for `kind` on `dist`. Fails on degenerate distributions.
+Result<SignificanceResult> PermutationTest(
+    IndexKind kind, const GroupDistribution& dist,
+    const SignificanceOptions& options = SignificanceOptions());
+
+}  // namespace indexes
+}  // namespace scube
+
+#endif  // SCUBE_INDEXES_SIGNIFICANCE_H_

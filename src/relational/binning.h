@@ -1,0 +1,57 @@
+// Binning: discretisation of numeric attributes into categorical bins.
+//
+// Segregation attributes like age arrive as integers; the cube needs
+// categorical values ("15-38", "39-46", ...). Mirrors the age bins visible
+// in the paper's finalTable example (Fig. 3).
+
+#ifndef SCUBE_RELATIONAL_BINNING_H_
+#define SCUBE_RELATIONAL_BINNING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace scube {
+namespace relational {
+
+/// \brief Maps numeric values into labelled bins.
+class Binner {
+ public:
+  /// Bins defined by explicit right-open edges: values in [edges[i],
+  /// edges[i+1]) get label "edges[i]-(edges[i+1]-1)". Values below the first
+  /// edge / at-or-above the last go to "<lo" / ">=hi" overflow bins.
+  static Result<Binner> FromEdges(std::vector<int64_t> edges);
+
+  /// `count` equal-width bins spanning [lo, hi].
+  static Result<Binner> EqualWidth(int64_t lo, int64_t hi, size_t count);
+
+  /// `count` equal-frequency bins from a sample of values (quantile cuts).
+  static Result<Binner> EqualFrequency(std::vector<int64_t> values,
+                                       size_t count);
+
+  /// Bin label of a single value.
+  std::string LabelOf(int64_t value) const;
+
+  /// All interior labels in order (excluding overflow bins).
+  std::vector<std::string> Labels() const;
+
+  size_t NumBins() const { return edges_.size() - 1; }
+
+  /// Discretises `table`'s Int64 column `source_attr` into a new categorical
+  /// attribute `target_spec` appended to the table.
+  static Status DiscretizeColumn(Table* table, const std::string& source_attr,
+                                 const AttributeSpec& target_spec,
+                                 const Binner& binner);
+
+ private:
+  explicit Binner(std::vector<int64_t> edges);
+  std::vector<int64_t> edges_;  // size >= 2, strictly increasing
+};
+
+}  // namespace relational
+}  // namespace scube
+
+#endif  // SCUBE_RELATIONAL_BINNING_H_

@@ -1,0 +1,21 @@
+#include "relational/dictionary.h"
+
+namespace scube {
+namespace relational {
+
+Code Dictionary::GetOrAdd(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  Code code = static_cast<Code>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+Code Dictionary::Find(const std::string& value) const {
+  auto it = index_.find(value);
+  return it == index_.end() ? kNullCode : it->second;
+}
+
+}  // namespace relational
+}  // namespace scube

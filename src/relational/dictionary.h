@@ -1,0 +1,41 @@
+// Dictionary: bidirectional string <-> dense code mapping.
+
+#ifndef SCUBE_RELATIONAL_DICTIONARY_H_
+#define SCUBE_RELATIONAL_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace scube {
+namespace relational {
+
+/// Dense categorical code; per-attribute dictionaries start at 0.
+using Code = uint32_t;
+
+inline constexpr Code kNullCode = 0xFFFFFFFFu;
+
+/// \brief Append-only dictionary used by categorical columns.
+class Dictionary {
+ public:
+  /// Returns the code of `value`, inserting it if new.
+  Code GetOrAdd(const std::string& value);
+
+  /// Returns the code of `value` or kNullCode when absent.
+  Code Find(const std::string& value) const;
+
+  /// The string for a code; code must be < size().
+  const std::string& ValueOf(Code code) const { return values_[code]; }
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, Code> index_;
+};
+
+}  // namespace relational
+}  // namespace scube
+
+#endif  // SCUBE_RELATIONAL_DICTIONARY_H_

@@ -1,0 +1,49 @@
+// PipelineConfig parsing from "key = value" text — the persistence format
+// of the wizard's choices (and the knobs a production deployment would put
+// in a config file).
+
+#ifndef SCUBE_SCUBE_CONFIG_H_
+#define SCUBE_SCUBE_CONFIG_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "scube/pipeline.h"
+
+namespace scube {
+namespace pipeline {
+
+/// Parses a config document. Recognised keys (all optional; unknown keys
+/// are errors, values are validated):
+///
+///   unit_source            group-clusters | group-attribute |
+///                          individual-clusters
+///   group_unit_attribute   <attribute name>
+///   date                   <integer>
+///   method                 connected-components | threshold-cc | stoc |
+///                          louvain
+///   threshold.min_weight   <double>
+///   threshold.giant_only   true | false
+///   stoc.tau               <double in [0,1]>
+///   stoc.alpha             <double in [0,1]>
+///   stoc.max_radius        <integer>
+///   projection.hub_cap     <integer, 0 disables>
+///   projection.min_weight  <double>
+///   cube.min_support       <integer>
+///   cube.min_support_fraction  <double>
+///   cube.max_sa_items      <integer>
+///   cube.max_ca_items      <integer>
+///   cube.miner             fpgrowth | eclat | apriori | brute-force
+///   cube.mode              all | closed | maximal
+///   cube.atkinson_b        <double in (0,1)>
+///
+/// Lines starting with '#' and blank lines are ignored.
+Result<PipelineConfig> ParsePipelineConfig(const std::string& text);
+
+/// Serialises a config back to the parsable format.
+std::string PipelineConfigToString(const PipelineConfig& config);
+
+}  // namespace pipeline
+}  // namespace scube
+
+#endif  // SCUBE_SCUBE_CONFIG_H_

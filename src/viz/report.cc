@@ -1,0 +1,133 @@
+#include "viz/report.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace scube {
+namespace viz {
+
+namespace {
+
+// All items of the given attribute name, sorted by value.
+std::vector<fpm::ItemId> AttributeItems(const relational::ItemCatalog& catalog,
+                                        const std::string& attr_name) {
+  std::vector<fpm::ItemId> items;
+  for (fpm::ItemId item = 0; item < catalog.size(); ++item) {
+    if (catalog.info(item).attr_name == attr_name) items.push_back(item);
+  }
+  std::sort(items.begin(), items.end(),
+            [&catalog](fpm::ItemId a, fpm::ItemId b) {
+              return catalog.info(a).value < catalog.info(b).value;
+            });
+  return items;
+}
+
+std::string Pad(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace
+
+Result<std::string> RenderPivotTable(const cube::SegregationCube& cube,
+                                     const PivotSpec& spec) {
+  const auto& catalog = cube.catalog();
+  std::vector<fpm::ItemId> row_items =
+      AttributeItems(catalog, spec.sa_attribute);
+  std::vector<fpm::ItemId> col_items =
+      AttributeItems(catalog, spec.ca_attribute);
+  if (row_items.empty()) {
+    return Status::NotFound("no items for SA attribute '" +
+                            spec.sa_attribute + "'");
+  }
+  if (col_items.empty()) {
+    return Status::NotFound("no items for CA attribute '" +
+                            spec.ca_attribute + "'");
+  }
+
+  // Row/column headers, "*" last.
+  std::vector<std::string> row_labels, col_labels;
+  for (fpm::ItemId item : row_items) {
+    row_labels.push_back(catalog.info(item).value);
+  }
+  row_labels.push_back("*");
+  for (fpm::ItemId item : col_items) {
+    col_labels.push_back(catalog.info(item).value);
+  }
+  col_labels.push_back("*");
+
+  std::string corner = spec.sa_attribute + "\\" + spec.ca_attribute;
+  size_t label_width = corner.size();
+  for (const std::string& l : row_labels) {
+    label_width = std::max(label_width, l.size());
+  }
+  label_width += 2;
+  size_t cell_width = 8;
+  for (const std::string& l : col_labels) {
+    cell_width = std::max(cell_width, l.size() + 2);
+  }
+
+  std::string out;
+  out += Pad(corner, label_width);
+  for (const std::string& l : col_labels) out += Pad(l, cell_width);
+  out += "\n";
+
+  for (size_t r = 0; r <= row_items.size(); ++r) {
+    fpm::Itemset sa = spec.fixed_sa;
+    if (r < row_items.size()) sa = sa.With(row_items[r]);
+    out += Pad(row_labels[r], label_width);
+    for (size_t c = 0; c <= col_items.size(); ++c) {
+      fpm::Itemset ca = spec.fixed_ca;
+      if (c < col_items.size()) ca = ca.With(col_items[c]);
+      const cube::CubeCell* cell = cube.Find(sa, ca);
+      std::string text = "-";
+      if (cell != nullptr && cell->indexes.defined) {
+        text = FormatDouble(cell->indexes[spec.index], 2);
+      }
+      out += Pad(text, cell_width);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderTopContexts(const cube::SegregationCube& cube,
+                              indexes::IndexKind kind, size_t k,
+                              const cube::ExplorerOptions& options) {
+  auto top = cube::TopSegregatedContexts(cube, kind, k, options);
+  std::string out;
+  out += Pad("#", 4) + Pad(indexes::IndexKindToString(kind), 16) +
+         Pad("T", 9) + Pad("M", 9) + "context\n";
+  size_t rank = 1;
+  for (const cube::RankedCell& rc : top) {
+    out += Pad(std::to_string(rank), 4) +
+           Pad(FormatDouble(rc.value, 4), 16) +
+           Pad(std::to_string(rc.cell->context_size), 9) +
+           Pad(std::to_string(rc.cell->minority_size), 9) +
+           cube.LabelOf(rc.cell->coords) + "\n";
+    ++rank;
+  }
+  return out;
+}
+
+std::string RenderCellSummary(const cube::SegregationCube& cube,
+                              const cube::CubeCell& cell) {
+  std::string out = cube.LabelOf(cell.coords) + "\n";
+  out += "  T=" + FormatWithCommas(static_cast<int64_t>(cell.context_size)) +
+         " M=" + FormatWithCommas(static_cast<int64_t>(cell.minority_size)) +
+         " units=" + std::to_string(cell.num_units) + "\n";
+  if (!cell.indexes.defined) {
+    out += "  (indexes undefined: degenerate minority)\n";
+    return out;
+  }
+  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+    out += "  " + Pad(indexes::IndexKindToString(kind), 15) +
+           FormatDouble(cell.indexes[kind], 4) + "\n";
+  }
+  return out;
+}
+
+}  // namespace viz
+}  // namespace scube

@@ -1,0 +1,45 @@
+// Text reports: the Fig. 1-style pivot grid and top-k context listings used
+// by the examples, benches and the wizard.
+
+#ifndef SCUBE_VIZ_REPORT_H_
+#define SCUBE_VIZ_REPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cube/cube.h"
+#include "cube/explorer.h"
+
+namespace scube {
+namespace viz {
+
+/// \brief A 2-D pivot over the cube: rows are values of one SA attribute
+/// (plus ⋆), columns values of one CA attribute (plus ⋆); extra fixed
+/// coordinates select the slab (e.g. Fig. 1 fixes age=young on a second SA
+/// dimension).
+struct PivotSpec {
+  std::string sa_attribute;  ///< e.g. "gender"
+  std::string ca_attribute;  ///< e.g. "residence_region"
+  indexes::IndexKind index = indexes::IndexKind::kDissimilarity;
+  fpm::Itemset fixed_sa;  ///< additional SA coordinates applied to all cells
+  fpm::Itemset fixed_ca;  ///< additional CA coordinates applied to all cells
+};
+
+/// Renders the pivot as a fixed-width text grid; absent or undefined cells
+/// show "-" (the dashes of Fig. 1).
+Result<std::string> RenderPivotTable(const cube::SegregationCube& cube,
+                                     const PivotSpec& spec);
+
+/// Renders the top-k most segregated contexts as a text table.
+std::string RenderTopContexts(const cube::SegregationCube& cube,
+                              indexes::IndexKind kind, size_t k,
+                              const cube::ExplorerOptions& options);
+
+/// Renders the six indexes of one cell as "name value" lines.
+std::string RenderCellSummary(const cube::SegregationCube& cube,
+                              const cube::CubeCell& cell);
+
+}  // namespace viz
+}  // namespace scube
+
+#endif  // SCUBE_VIZ_REPORT_H_

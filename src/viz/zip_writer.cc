@@ -1,0 +1,119 @@
+#include "viz/zip_writer.h"
+
+#include <array>
+
+#include "common/csv.h"
+
+namespace scube {
+namespace viz {
+
+namespace {
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+}  // namespace
+
+uint32_t Crc32(const std::string& data) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ZipWriter::AddFile(const std::string& name, const std::string& content) {
+  entries_.push_back(Entry{name, content, Crc32(content)});
+}
+
+std::string ZipWriter::Serialize() const {
+  std::string out;
+  std::vector<uint32_t> offsets;
+  offsets.reserve(entries_.size());
+
+  // Local file headers + data.
+  for (const Entry& e : entries_) {
+    offsets.push_back(static_cast<uint32_t>(out.size()));
+    PutU32(&out, 0x04034B50u);                       // local header signature
+    PutU16(&out, 20);                                // version needed
+    PutU16(&out, 0);                                 // flags
+    PutU16(&out, 0);                                 // method: stored
+    PutU16(&out, 0);                                 // mod time
+    PutU16(&out, 0x21);                              // mod date (1980-01-01)
+    PutU32(&out, e.crc);
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));  // compressed
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));  // uncompressed
+    PutU16(&out, static_cast<uint16_t>(e.name.size()));
+    PutU16(&out, 0);                                 // extra length
+    out += e.name;
+    out += e.content;
+  }
+
+  // Central directory.
+  uint32_t cd_offset = static_cast<uint32_t>(out.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    PutU32(&out, 0x02014B50u);  // central directory signature
+    PutU16(&out, 20);           // version made by
+    PutU16(&out, 20);           // version needed
+    PutU16(&out, 0);            // flags
+    PutU16(&out, 0);            // method
+    PutU16(&out, 0);            // time
+    PutU16(&out, 0x21);         // date
+    PutU32(&out, e.crc);
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));
+    PutU16(&out, static_cast<uint16_t>(e.name.size()));
+    PutU16(&out, 0);  // extra
+    PutU16(&out, 0);  // comment
+    PutU16(&out, 0);  // disk
+    PutU16(&out, 0);  // internal attrs
+    PutU32(&out, 0);  // external attrs
+    PutU32(&out, offsets[i]);
+    out += e.name;
+  }
+  uint32_t cd_size = static_cast<uint32_t>(out.size()) - cd_offset;
+
+  // End of central directory.
+  PutU32(&out, 0x06054B50u);
+  PutU16(&out, 0);  // this disk
+  PutU16(&out, 0);  // cd disk
+  PutU16(&out, static_cast<uint16_t>(entries_.size()));
+  PutU16(&out, static_cast<uint16_t>(entries_.size()));
+  PutU32(&out, cd_size);
+  PutU32(&out, cd_offset);
+  PutU16(&out, 0);  // comment length
+  return out;
+}
+
+Status ZipWriter::Save(const std::string& path) const {
+  return WriteStringToFile(path, Serialize());
+}
+
+}  // namespace viz
+}  // namespace scube

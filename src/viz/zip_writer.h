@@ -1,0 +1,47 @@
+// ZipWriter: minimal ZIP container (stored entries, CRC-32) — the carrier
+// format of OOXML .xlsx files. From-scratch replacement for the Apache POI
+// dependency of the Java original.
+
+#ifndef SCUBE_VIZ_ZIP_WRITER_H_
+#define SCUBE_VIZ_ZIP_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scube {
+namespace viz {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte string.
+uint32_t Crc32(const std::string& data);
+
+/// \brief Builds a ZIP archive in memory; entries are stored uncompressed
+/// (valid per the ZIP spec; OOXML consumers accept stored entries).
+class ZipWriter {
+ public:
+  /// Appends a file entry. `name` uses forward slashes ("xl/workbook.xml").
+  void AddFile(const std::string& name, const std::string& content);
+
+  size_t NumEntries() const { return entries_.size(); }
+
+  /// Serialises local headers, central directory and end record.
+  std::string Serialize() const;
+
+  /// Writes the archive to disk.
+  Status Save(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string content;
+    uint32_t crc;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace viz
+}  // namespace scube
+
+#endif  // SCUBE_VIZ_ZIP_WRITER_H_

@@ -1,0 +1,235 @@
+#include "common/ewah.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace scube {
+namespace {
+
+std::vector<uint64_t> SetToVec(const std::set<uint64_t>& s) {
+  return std::vector<uint64_t>(s.begin(), s.end());
+}
+
+TEST(EwahTest, EmptyBitmap) {
+  EwahBitmap b;
+  EXPECT_EQ(b.Cardinality(), 0u);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_TRUE(b.ToIndices().empty());
+  EXPECT_FALSE(b.Get(0));
+  EXPECT_FALSE(b.Get(1000));
+}
+
+TEST(EwahTest, SingleBit) {
+  auto b = EwahBitmap::FromIndices({5});
+  EXPECT_EQ(b.Cardinality(), 1u);
+  EXPECT_TRUE(b.Get(5));
+  EXPECT_FALSE(b.Get(4));
+  EXPECT_FALSE(b.Get(6));
+  EXPECT_EQ(b.SizeInBits(), 6u);
+}
+
+TEST(EwahTest, BitFarFromOrigin) {
+  auto b = EwahBitmap::FromIndices({100000});
+  EXPECT_EQ(b.Cardinality(), 1u);
+  EXPECT_TRUE(b.Get(100000));
+  EXPECT_FALSE(b.Get(99999));
+  // 100000/64 = 1562 clean words should be run-compressed: tiny buffer.
+  EXPECT_LT(b.SizeInBytes(), 64u);
+}
+
+TEST(EwahTest, DenseRunCompresses) {
+  std::vector<uint64_t> all;
+  for (uint64_t i = 0; i < 64 * 100; ++i) all.push_back(i);
+  auto b = EwahBitmap::FromIndices(all);
+  EXPECT_EQ(b.Cardinality(), 6400u);
+  // 100 all-ones words collapse into a single run marker.
+  EXPECT_LT(b.SizeInBytes(), 64u);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(6399));
+  EXPECT_FALSE(b.Get(6400));
+}
+
+TEST(EwahTest, ToIndicesRoundTrip) {
+  std::vector<uint64_t> in{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 99999};
+  auto b = EwahBitmap::FromIndices(in);
+  EXPECT_EQ(b.ToIndices(), in);
+  EXPECT_EQ(b.Cardinality(), in.size());
+}
+
+TEST(EwahTest, WordBoundaryBits) {
+  // Bits straddling 64-bit word boundaries are the classic failure spot.
+  std::vector<uint64_t> in{63, 64, 127, 128, 191, 192};
+  auto b = EwahBitmap::FromIndices(in);
+  EXPECT_EQ(b.ToIndices(), in);
+  for (uint64_t i : in) EXPECT_TRUE(b.Get(i)) << i;
+  EXPECT_FALSE(b.Get(62));
+  EXPECT_FALSE(b.Get(65));
+}
+
+TEST(EwahTest, AndBasic) {
+  auto a = EwahBitmap::FromIndices({1, 3, 5, 7, 100});
+  auto b = EwahBitmap::FromIndices({3, 4, 5, 100, 200});
+  auto c = a.And(b);
+  EXPECT_EQ(c.ToIndices(), (std::vector<uint64_t>{3, 5, 100}));
+}
+
+TEST(EwahTest, OrBasic) {
+  auto a = EwahBitmap::FromIndices({1, 3});
+  auto b = EwahBitmap::FromIndices({2, 3, 500});
+  auto c = a.Or(b);
+  EXPECT_EQ(c.ToIndices(), (std::vector<uint64_t>{1, 2, 3, 500}));
+}
+
+TEST(EwahTest, XorBasic) {
+  auto a = EwahBitmap::FromIndices({1, 3, 5});
+  auto b = EwahBitmap::FromIndices({3, 4, 5});
+  auto c = a.Xor(b);
+  EXPECT_EQ(c.ToIndices(), (std::vector<uint64_t>{1, 4}));
+}
+
+TEST(EwahTest, AndNotBasic) {
+  auto a = EwahBitmap::FromIndices({1, 3, 5, 700});
+  auto b = EwahBitmap::FromIndices({3, 4, 5});
+  auto c = a.AndNot(b);
+  EXPECT_EQ(c.ToIndices(), (std::vector<uint64_t>{1, 700}));
+}
+
+TEST(EwahTest, OpsWithEmptyOperand) {
+  auto a = EwahBitmap::FromIndices({10, 20, 30});
+  EwahBitmap empty;
+  EXPECT_EQ(a.And(empty).Cardinality(), 0u);
+  EXPECT_EQ(empty.And(a).Cardinality(), 0u);
+  EXPECT_EQ(a.Or(empty).ToIndices(), a.ToIndices());
+  EXPECT_EQ(empty.Or(a).ToIndices(), a.ToIndices());
+  EXPECT_EQ(a.AndNot(empty).ToIndices(), a.ToIndices());
+  EXPECT_EQ(empty.AndNot(a).Cardinality(), 0u);
+  EXPECT_EQ(a.Xor(empty).ToIndices(), a.ToIndices());
+}
+
+TEST(EwahTest, AndCardinalityMatchesAnd) {
+  auto a = EwahBitmap::FromIndices({1, 64, 65, 128, 1000, 5000});
+  auto b = EwahBitmap::FromIndices({64, 128, 129, 5000, 6000});
+  EXPECT_EQ(a.AndCardinality(b), a.And(b).Cardinality());
+  EXPECT_EQ(b.AndCardinality(a), a.And(b).Cardinality());
+}
+
+TEST(EwahTest, IntersectsEarlyExit) {
+  auto a = EwahBitmap::FromIndices({1, 2, 3});
+  auto b = EwahBitmap::FromIndices({3, 4});
+  auto c = EwahBitmap::FromIndices({4, 5});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+}
+
+TEST(EwahTest, EqualitySemantics) {
+  auto a = EwahBitmap::FromIndices({1, 2, 3});
+  auto b = EwahBitmap::FromIndices({1, 2, 3});
+  auto c = EwahBitmap::FromIndices({1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Same bits but different logical sizes still compare equal as sets.
+  EwahBitmap empty1;
+  auto empty2 = EwahBitmap::FromIndices({});
+  EXPECT_EQ(empty1, empty2);
+}
+
+TEST(EwahTest, HashConsistency) {
+  auto a = EwahBitmap::FromIndices({7, 77, 777});
+  auto b = EwahBitmap::FromIndices({7, 77, 777});
+  auto c = EwahBitmap::FromIndices({7, 77, 778});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());  // not guaranteed, but astronomically likely
+}
+
+TEST(EwahTest, DebugString) {
+  auto a = EwahBitmap::FromIndices({1, 5, 7});
+  EXPECT_EQ(a.DebugString(), "{1,5,7}");
+  EXPECT_EQ(EwahBitmap().DebugString(), "{}");
+}
+
+TEST(EwahTest, BuilderRejectsNonIncreasing) {
+  EwahBitmap::Builder b;
+  b.Add(5);
+  EXPECT_DEATH(b.Add(5), "");
+}
+
+// ---------------------------------------------------------------------------
+// Property-based randomized comparison against std::set reference.
+// ---------------------------------------------------------------------------
+
+struct RandomCaseParams {
+  uint64_t seed;
+  uint64_t universe;
+  double density;
+};
+
+class EwahPropertyTest : public ::testing::TestWithParam<RandomCaseParams> {};
+
+TEST_P(EwahPropertyTest, MatchesReferenceSetSemantics) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  std::set<uint64_t> sa, sb;
+  for (uint64_t i = 0; i < p.universe; ++i) {
+    if (rng.NextBool(p.density)) sa.insert(i);
+    if (rng.NextBool(p.density)) sb.insert(i);
+  }
+  auto a = EwahBitmap::FromIndices(SetToVec(sa));
+  auto b = EwahBitmap::FromIndices(SetToVec(sb));
+
+  EXPECT_EQ(a.Cardinality(), sa.size());
+  EXPECT_EQ(b.Cardinality(), sb.size());
+  EXPECT_EQ(a.ToIndices(), SetToVec(sa));
+
+  std::set<uint64_t> expect_and, expect_or, expect_xor, expect_andnot;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(expect_and, expect_and.begin()));
+  std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                 std::inserter(expect_or, expect_or.begin()));
+  std::set_symmetric_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                                std::inserter(expect_xor, expect_xor.begin()));
+  std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                      std::inserter(expect_andnot, expect_andnot.begin()));
+
+  EXPECT_EQ(a.And(b).ToIndices(), SetToVec(expect_and));
+  EXPECT_EQ(a.Or(b).ToIndices(), SetToVec(expect_or));
+  EXPECT_EQ(a.Xor(b).ToIndices(), SetToVec(expect_xor));
+  EXPECT_EQ(a.AndNot(b).ToIndices(), SetToVec(expect_andnot));
+  EXPECT_EQ(a.AndCardinality(b), expect_and.size());
+  EXPECT_EQ(a.Intersects(b), !expect_and.empty());
+
+  // Hash/equality invariants.
+  auto a2 = EwahBitmap::FromIndices(SetToVec(sa));
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(a.Hash(), a2.Hash());
+
+  // Algebraic identities.
+  EXPECT_EQ(a.And(b), b.And(a));
+  EXPECT_EQ(a.Or(b), b.Or(a));
+  EXPECT_EQ(a.AndNot(b).Or(a.And(b)), a);
+  EXPECT_EQ(a.Xor(b), a.AndNot(b).Or(b.AndNot(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, EwahPropertyTest,
+    ::testing::Values(
+        RandomCaseParams{1, 100, 0.5}, RandomCaseParams{2, 100, 0.05},
+        RandomCaseParams{3, 1000, 0.9},     // dense: one-runs exercised
+        RandomCaseParams{4, 1000, 0.01},    // sparse: zero-runs exercised
+        RandomCaseParams{5, 10000, 0.001},  // very sparse
+        RandomCaseParams{6, 10000, 0.999},  // nearly full
+        RandomCaseParams{7, 4096, 0.5},     // word-aligned universe
+        RandomCaseParams{8, 4097, 0.3},     // off-by-one universe
+        RandomCaseParams{9, 63, 0.5},       // sub-word universe
+        RandomCaseParams{10, 64, 0.5}, RandomCaseParams{11, 65, 0.5},
+        RandomCaseParams{12, 128, 1.0},     // full
+        RandomCaseParams{13, 100000, 0.0001}));
+
+}  // namespace
+}  // namespace scube

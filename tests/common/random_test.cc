@@ -1,0 +1,179 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace scube {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool any_diff = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolFrequencies) {
+  Rng rng(17);
+  int hits = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  const int kN = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int kN = 30000;
+  for (int i = 0; i < kN; ++i) counts[rng.NextCategorical(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.6, 0.02);
+}
+
+TEST(RngTest, ZipfRangeAndSkew) {
+  Rng rng(29);
+  const uint64_t kMax = 100;
+  std::map<uint64_t, int> counts;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = rng.NextZipf(kMax, 1.2);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, kMax);
+    counts[v]++;
+  }
+  // Rank-1 must dominate rank-10 strongly for s=1.2.
+  EXPECT_GT(counts[1], counts[10] * 3);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Next() != child.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(41);
+  std::vector<double> w{5.0, 0.0, 15.0, 80.0};
+  AliasSampler sampler(w);
+  std::vector<int> counts(4, 0);
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) counts[sampler.Sample(&rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.05, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.15, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kN), 0.80, 0.015);
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  Rng rng(43);
+  AliasSampler sampler({2.5});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+class ZipfSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweepTest, MonotoneDecreasingHeadMass) {
+  double s = GetParam();
+  Rng rng(4242);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 30000; ++i) {
+    counts[rng.NextZipf(50, s)]++;
+  }
+  // Head (1..5) carries more mass than mid (21..25) for all s > 1.
+  int head = 0, mid = 0;
+  for (int i = 1; i <= 5; ++i) head += counts[i];
+  for (int i = 21; i <= 25; ++i) mid += counts[i];
+  EXPECT_GT(head, mid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweepTest,
+                         ::testing::Values(1.05, 1.2, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace scube

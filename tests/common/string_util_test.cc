@@ -1,0 +1,77 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace scube {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("solo", ';'), (std::vector<std::string>{"solo"}));
+}
+
+TEST(JoinTest, RoundTripsSplit) {
+  std::vector<std::string> parts{"sex=F", "age=young", "region=north"};
+  EXPECT_EQ(Join(parts, ","), "sex=F,age=young,region=north");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(TrimTest, RemovesAsciiWhitespace) {
+  EXPECT_EQ(Trim("  hello "), "hello");
+  EXPECT_EQ(Trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(CaseTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("GeNdEr"), "gender");
+  EXPECT_EQ(ToLower("ABC-123"), "abc-123");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("sex=female", "sex="));
+  EXPECT_FALSE(StartsWith("sex", "sex="));
+  EXPECT_TRUE(EndsWith("cube.xlsx", ".xlsx"));
+  EXPECT_FALSE(EndsWith("cube.xls", ".xlsx"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  123 ").value(), 123);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("0.5bad").ok());
+}
+
+TEST(FormatTest, DoubleAndCommas) {
+  EXPECT_EQ(FormatDouble(0.78125, 2), "0.78");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(3600000), "3,600,000");
+  EXPECT_EQ(FormatWithCommas(-2150000), "-2,150,000");
+}
+
+}  // namespace
+}  // namespace scube

@@ -1,0 +1,170 @@
+#include "datagen/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scube {
+namespace datagen {
+namespace {
+
+ScenarioConfig TinyItalian() {
+  ScenarioConfig config = ItalianConfig(0.001, /*seed=*/7);  // ~2150 companies
+  return config;
+}
+
+TEST(ScenariosTest, DeterministicGivenSeed) {
+  auto a = GenerateScenario(TinyItalian());
+  auto b = GenerateScenario(TinyItalian());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->inputs.individuals.NumRows(), b->inputs.individuals.NumRows());
+  EXPECT_EQ(a->inputs.membership.NumMemberships(),
+            b->inputs.membership.NumMemberships());
+  EXPECT_EQ(a->sector_female_share, b->sector_female_share);
+}
+
+TEST(ScenariosTest, ShapesMatchConfig) {
+  auto s = GenerateScenario(TinyItalian());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->inputs.groups.NumRows(), 2150u);
+  EXPECT_GT(s->inputs.individuals.NumRows(), 1000u);
+  // Seats >= companies (every board has >= 1 seat).
+  EXPECT_GE(s->inputs.membership.NumMemberships(),
+            s->inputs.groups.NumRows());
+  EXPECT_TRUE(s->inputs.Validate().ok());
+  EXPECT_EQ(s->snapshot_years, (std::vector<graph::Date>{0}));
+}
+
+TEST(ScenariosTest, ColumnHandlesResolved) {
+  auto s = GenerateScenario(TinyItalian());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(s->individual_gender_col, 0);
+  EXPECT_GE(s->individual_age_bin_col, 0);
+  EXPECT_GE(s->individual_province_col, 0);
+  EXPECT_GE(s->group_sector_col, 0);
+  EXPECT_GE(s->group_region_col, 0);
+}
+
+TEST(ScenariosTest, PlantedSectorBiasIsRealised) {
+  ScenarioConfig config = ItalianConfig(0.005, 11);  // ~10750 companies
+  auto s = GenerateScenario(config);
+  ASSERT_TRUE(s.ok());
+  // Education (planted 0.55) must end up far more female than
+  // construction (planted 0.12). Reuse and province bias add noise, so
+  // assert a conservative gap.
+  double education = s->sector_female_share.at("education");
+  double construction = s->sector_female_share.at("construction");
+  EXPECT_GT(education, construction + 0.20);
+}
+
+TEST(ScenariosTest, PlantedNorthSouthGradient) {
+  ScenarioConfig config = ItalianConfig(0.005, 13);
+  auto s = GenerateScenario(config);
+  ASSERT_TRUE(s.ok());
+  double milano = s->province_female_share.at("Milano");
+  double palermo = s->province_female_share.at("Palermo");
+  EXPECT_GT(milano, palermo);
+}
+
+TEST(ScenariosTest, AgeBinsUsePaperEdges) {
+  auto s = GenerateScenario(TinyItalian());
+  ASSERT_TRUE(s.ok());
+  const auto& table = s->inputs.individuals;
+  size_t bin_col = static_cast<size_t>(s->individual_age_bin_col);
+  size_t age_col = static_cast<size_t>(s->individual_age_col);
+  for (size_t r = 0; r < std::min<size_t>(table.NumRows(), 500); ++r) {
+    int64_t age = table.Int64Value(r, age_col);
+    std::string bin = table.CategoricalValue(r, bin_col);
+    if (age >= 18 && age <= 38) {
+      EXPECT_EQ(bin, "18-38") << age;
+    }
+    if (age >= 39 && age <= 46) {
+      EXPECT_EQ(bin, "39-46") << age;
+    }
+    if (age >= 55 && age <= 90) {
+      EXPECT_EQ(bin, "55-90") << age;
+    }
+  }
+}
+
+TEST(ScenariosTest, InterlocksExist) {
+  auto s = GenerateScenario(TinyItalian());
+  ASSERT_TRUE(s.ok());
+  // With multi_board_prob > 0, seats exceed distinct directors.
+  EXPECT_GT(s->inputs.membership.NumMemberships(),
+            s->inputs.individuals.NumRows());
+}
+
+TEST(ScenariosTest, EstonianTemporalScenario) {
+  ScenarioConfig config = EstonianConfig(0.002, 17);  // ~680 companies
+  auto s = GenerateScenario(config);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->snapshot_years.size(), 20u);
+  EXPECT_EQ(s->snapshot_years.front(), 1995);
+  EXPECT_EQ(s->snapshot_years.back(), 2014);
+
+  // Memberships carry genuine validity intervals within the range.
+  bool any_bounded = false;
+  for (const auto& m : s->inputs.membership.memberships()) {
+    EXPECT_LT(m.valid_from, m.valid_to);
+    if (m.valid_from != graph::kDateMin) {
+      any_bounded = true;
+      EXPECT_GE(m.valid_from, 1995);
+      EXPECT_LE(m.valid_to, 2015);
+    }
+  }
+  EXPECT_TRUE(any_bounded);
+}
+
+TEST(ScenariosTest, TemporalDriftFeminisesBoards) {
+  ScenarioConfig config = EstonianConfig(0.01, 19);
+  config.female_share_drift = 0.3;
+  auto s = GenerateScenario(config);
+  ASSERT_TRUE(s.ok());
+  // Female share among seats active early vs late.
+  const auto& individuals = s->inputs.individuals;
+  size_t gender_col = static_cast<size_t>(s->individual_gender_col);
+  auto female_share_at = [&](graph::Date year) {
+    uint64_t seats = 0, female = 0;
+    for (const auto& m : s->inputs.membership.memberships()) {
+      if (!m.ActiveAt(year)) continue;
+      ++seats;
+      if (individuals.CategoricalValue(m.individual, gender_col) == "F") {
+        ++female;
+      }
+    }
+    return seats == 0 ? 0.0
+                      : static_cast<double>(female) /
+                            static_cast<double>(seats);
+  };
+  EXPECT_GT(female_share_at(2013), female_share_at(1996) + 0.05);
+}
+
+TEST(ScenariosTest, ValidatesConfig) {
+  ScenarioConfig bad;
+  bad.sectors.clear();
+  EXPECT_FALSE(GenerateScenario(bad).ok());
+
+  ScenarioConfig no_companies = ItalianConfig(0.001);
+  no_companies.num_companies = 0;
+  EXPECT_FALSE(GenerateScenario(no_companies).ok());
+
+  ScenarioConfig bad_years = EstonianConfig(0.001);
+  bad_years.end_year = bad_years.start_year;
+  EXPECT_FALSE(GenerateScenario(bad_years).ok());
+}
+
+TEST(ScenariosTest, PresetScales) {
+  EXPECT_EQ(ItalianConfig(1.0).num_companies, 2150000u);
+  EXPECT_EQ(ItalianConfig(0.01).num_companies, 21500u);
+  EXPECT_EQ(EstonianConfig(1.0).num_companies, 340000u);
+  EXPECT_EQ(ItalianSectors().size(), 20u);
+  EXPECT_EQ(ItalianProvinces().size(), 20u);
+  EXPECT_EQ(EstonianSectors().size(), 10u);
+  EXPECT_EQ(EstonianProvinces().size(), 15u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace scube

@@ -1,0 +1,85 @@
+#include "fpm/transaction_db.h"
+
+#include <gtest/gtest.h>
+
+namespace scube {
+namespace fpm {
+namespace {
+
+TransactionDb SmallDb() {
+  // Classic 5-transaction example.
+  TransactionDb db;
+  db.AddTransaction({0, 1, 2});     // t0
+  db.AddTransaction({0, 1});        // t1
+  db.AddTransaction({1, 2});        // t2
+  db.AddTransaction({0, 2, 3});     // t3
+  db.AddTransaction({3});           // t4
+  return db;
+}
+
+TEST(TransactionDbTest, BasicCounts) {
+  TransactionDb db = SmallDb();
+  EXPECT_EQ(db.NumTransactions(), 5u);
+  EXPECT_EQ(db.NumItems(), 4u);
+  EXPECT_EQ(db.TotalItemOccurrences(), 11u);
+}
+
+TEST(TransactionDbTest, TransactionsAreSortedAndDeduped) {
+  TransactionDb db;
+  db.AddTransaction({3, 1, 3, 2, 1});
+  EXPECT_EQ(db.Transaction(0), (std::vector<ItemId>{1, 2, 3}));
+  EXPECT_EQ(db.TotalItemOccurrences(), 3u);
+}
+
+TEST(TransactionDbTest, ItemSupports) {
+  TransactionDb db = SmallDb();
+  EXPECT_EQ(db.ItemSupport(0), 3u);
+  EXPECT_EQ(db.ItemSupport(1), 3u);
+  EXPECT_EQ(db.ItemSupport(2), 3u);
+  EXPECT_EQ(db.ItemSupport(3), 2u);
+  EXPECT_EQ(db.ItemSupport(99), 0u);  // unseen item
+}
+
+TEST(TransactionDbTest, ItemCovers) {
+  TransactionDb db = SmallDb();
+  EXPECT_EQ(db.ItemCover(0).ToIndices(), (std::vector<uint64_t>{0, 1, 3}));
+  EXPECT_EQ(db.ItemCover(3).ToIndices(), (std::vector<uint64_t>{3, 4}));
+}
+
+TEST(TransactionDbTest, ItemsetCoverAndSupport) {
+  TransactionDb db = SmallDb();
+  EXPECT_EQ(db.Cover(Itemset({0, 1})).ToIndices(),
+            (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(db.Support(Itemset({0, 1})), 2u);
+  EXPECT_EQ(db.Support(Itemset({0, 1, 2})), 1u);
+  EXPECT_EQ(db.Support(Itemset({1, 3})), 0u);
+  EXPECT_EQ(db.Support(Itemset({2})), 3u);
+}
+
+TEST(TransactionDbTest, EmptyItemsetCoversEverything) {
+  TransactionDb db = SmallDb();
+  EXPECT_EQ(db.Support(Itemset()), 5u);
+  EXPECT_EQ(db.Cover(Itemset()).Cardinality(), 5u);
+}
+
+TEST(TransactionDbTest, CoversRefreshAfterAppend) {
+  TransactionDb db;
+  db.AddTransaction({0});
+  EXPECT_EQ(db.ItemSupport(0), 1u);
+  db.AddTransaction({0, 1});
+  EXPECT_EQ(db.ItemSupport(0), 2u);
+  EXPECT_EQ(db.ItemSupport(1), 1u);
+}
+
+TEST(TransactionDbTest, EmptyTransactionAllowed) {
+  TransactionDb db;
+  db.AddTransaction({});
+  db.AddTransaction({0});
+  EXPECT_EQ(db.NumTransactions(), 2u);
+  EXPECT_EQ(db.ItemSupport(0), 1u);
+  EXPECT_EQ(db.Support(Itemset()), 2u);
+}
+
+}  // namespace
+}  // namespace fpm
+}  // namespace scube

@@ -1,0 +1,68 @@
+#include "graph/bipartite.h"
+
+#include <gtest/gtest.h>
+
+namespace scube {
+namespace graph {
+namespace {
+
+TEST(BipartiteTest, BasicMemberships) {
+  BipartiteGraph b(3, 2);
+  ASSERT_TRUE(b.AddMembership(0, 0).ok());
+  ASSERT_TRUE(b.AddMembership(0, 1).ok());
+  ASSERT_TRUE(b.AddMembership(2, 1).ok());
+  EXPECT_EQ(b.NumMemberships(), 3u);
+  auto by_ind = b.GroupsByIndividual(0);
+  EXPECT_EQ(by_ind[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(by_ind[1].empty());
+  EXPECT_EQ(by_ind[2], (std::vector<NodeId>{1}));
+  auto by_group = b.IndividualsByGroup(0);
+  EXPECT_EQ(by_group[0], (std::vector<NodeId>{0}));
+  EXPECT_EQ(by_group[1], (std::vector<NodeId>{0, 2}));
+}
+
+TEST(BipartiteTest, OutOfRangeRejected) {
+  BipartiteGraph b(2, 2);
+  EXPECT_EQ(b.AddMembership(2, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.AddMembership(0, 2).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BipartiteTest, ValidityIntervalFiltering) {
+  BipartiteGraph b(1, 3);
+  // Board seat held 2000-2005, another 2003-2010, a third forever.
+  ASSERT_TRUE(b.AddMembership(0, 0, 2000, 2005).ok());
+  ASSERT_TRUE(b.AddMembership(0, 1, 2003, 2010).ok());
+  ASSERT_TRUE(b.AddMembership(0, 2).ok());
+
+  EXPECT_EQ(b.GroupsByIndividual(1999)[0], (std::vector<NodeId>{2}));
+  EXPECT_EQ(b.GroupsByIndividual(2000)[0], (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(b.GroupsByIndividual(2004)[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(b.GroupsByIndividual(2005)[0], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(b.GroupsByIndividual(2010)[0], (std::vector<NodeId>{2}));
+}
+
+TEST(BipartiteTest, EmptyIntervalRejected) {
+  BipartiteGraph b(1, 1);
+  EXPECT_EQ(b.AddMembership(0, 0, 5, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddMembership(0, 0, 6, 5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BipartiteTest, DuplicateMembershipsDeduplicatedInLists) {
+  BipartiteGraph b(1, 1);
+  ASSERT_TRUE(b.AddMembership(0, 0, 0, 10).ok());
+  ASSERT_TRUE(b.AddMembership(0, 0, 5, 20).ok());
+  // Overlap at date 7: the lists deduplicate.
+  EXPECT_EQ(b.GroupsByIndividual(7)[0], (std::vector<NodeId>{0}));
+}
+
+TEST(MembershipTest, ActiveAtIsRightOpen) {
+  Membership m{0, 0, 10, 20};
+  EXPECT_FALSE(m.ActiveAt(9));
+  EXPECT_TRUE(m.ActiveAt(10));
+  EXPECT_TRUE(m.ActiveAt(19));
+  EXPECT_FALSE(m.ActiveAt(20));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace scube

@@ -1,0 +1,112 @@
+#include "graph/projection.h"
+
+#include <gtest/gtest.h>
+
+namespace scube {
+namespace graph {
+namespace {
+
+BipartiteGraph BoardFixture() {
+  // Directors I0..I3, companies A=0, B=1, C=2, D=3.
+  // I0 on {A,B}, I1 on {A,B}, I2 on {B,C}, I3 on {D}.
+  BipartiteGraph b(4, 4);
+  EXPECT_TRUE(b.AddMembership(0, 0).ok());
+  EXPECT_TRUE(b.AddMembership(0, 1).ok());
+  EXPECT_TRUE(b.AddMembership(1, 0).ok());
+  EXPECT_TRUE(b.AddMembership(1, 1).ok());
+  EXPECT_TRUE(b.AddMembership(2, 1).ok());
+  EXPECT_TRUE(b.AddMembership(2, 2).ok());
+  EXPECT_TRUE(b.AddMembership(3, 3).ok());
+  return b;
+}
+
+TEST(ProjectionTest, GroupsSideWeightsAreSharedDirectors) {
+  auto r = ProjectBipartite(BoardFixture(), ProjectionOptions{});
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Graph& g = r->graph;
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);  // A-B share I0, I1
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 1.0);  // B-C share I2
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(r->isolated, (std::vector<NodeId>{3}));  // D has no shared edge
+  EXPECT_EQ(r->raw_pairs, 2u);
+  EXPECT_EQ(r->hubs_skipped, 0u);
+}
+
+TEST(ProjectionTest, IndividualsSideConnectsCoBoardMembers) {
+  ProjectionOptions opts;
+  opts.side = ProjectionSide::kIndividuals;
+  auto r = ProjectBipartite(BoardFixture(), opts);
+  ASSERT_TRUE(r.ok());
+  const Graph& g = r->graph;
+  EXPECT_EQ(g.NumNodes(), 4u);
+  // I0-I1 share boards A and B -> weight 2; I0-I2 and I1-I2 share B.
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 1.0);
+  EXPECT_EQ(r->isolated, (std::vector<NodeId>{3}));
+}
+
+TEST(ProjectionTest, MinWeightDropsWeakTies) {
+  ProjectionOptions opts;
+  opts.min_weight = 2.0;
+  auto r = ProjectBipartite(BoardFixture(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.NumEdges(), 1u);
+  EXPECT_TRUE(r->graph.HasEdge(0, 1));
+  // B-C edge (weight 1) dropped; C becomes isolated too.
+  EXPECT_EQ(r->isolated, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(ProjectionTest, HubCapSkipsProlificDirectors) {
+  BipartiteGraph b(2, 5);
+  // I0 sits on 5 boards (a hub); I1 on 2.
+  for (NodeId g = 0; g < 5; ++g) ASSERT_TRUE(b.AddMembership(0, g).ok());
+  ASSERT_TRUE(b.AddMembership(1, 0).ok());
+  ASSERT_TRUE(b.AddMembership(1, 1).ok());
+
+  ProjectionOptions no_cap;
+  auto full = ProjectBipartite(b, no_cap);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->graph.NumEdges(), 10u);  // clique over 5
+  EXPECT_EQ(full->hubs_skipped, 0u);
+
+  ProjectionOptions capped;
+  capped.hub_cap = 3;
+  auto r = ProjectBipartite(b, capped);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->hubs_skipped, 1u);
+  EXPECT_EQ(r->graph.NumEdges(), 1u);  // only I1's pair remains
+  EXPECT_DOUBLE_EQ(r->graph.EdgeWeight(0, 1), 1.0);
+}
+
+TEST(ProjectionTest, SnapshotDateControlsEdges) {
+  BipartiteGraph b(1, 2);
+  ASSERT_TRUE(b.AddMembership(0, 0, 2000, 2010).ok());
+  ASSERT_TRUE(b.AddMembership(0, 1, 2005, 2015).ok());
+
+  ProjectionOptions at_2003;
+  at_2003.date = 2003;
+  auto r1 = ProjectBipartite(b, at_2003);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->graph.NumEdges(), 0u);  // only group 0 active
+
+  ProjectionOptions at_2007;
+  at_2007.date = 2007;
+  auto r2 = ProjectBipartite(b, at_2007);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->graph.NumEdges(), 1u);  // both active: edge 0-1
+}
+
+TEST(ProjectionTest, EmptyBipartiteYieldsAllIsolated) {
+  BipartiteGraph b(3, 3);
+  auto r = ProjectBipartite(b, ProjectionOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.NumEdges(), 0u);
+  EXPECT_EQ(r->isolated.size(), 3u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace scube

@@ -1,0 +1,115 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.h"
+#include "graph/louvain.h"
+
+namespace scube {
+namespace graph {
+namespace {
+
+Graph MustBuild(uint32_t n, const std::vector<WeightedEdge>& edges) {
+  auto g = Graph::FromEdges(n, edges);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(GraphStatsTest, BasicCounts) {
+  Graph g = MustBuild(5, {{0, 1, 2.0}, {1, 2, 4.0}, {0, 2, 6.0}});
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.num_isolated, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 6.0 / 5.0);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_edge_weight, 4.0);
+  EXPECT_DOUBLE_EQ(stats.max_edge_weight, 6.0);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  Graph g = MustBuild(0, {});
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0.0);
+}
+
+TEST(DegreeHistogramTest, BucketsAndOverflow) {
+  // Star: centre degree 4, leaves degree 1.
+  Graph g = MustBuild(5, {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}});
+  auto h = DegreeHistogram(g, 3);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 4u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 1u);  // centre capped into the last bucket
+}
+
+TEST(ClusteringCoefficientTest, TriangleAndStar) {
+  Graph triangle = MustBuild(3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}});
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(triangle, 0), 1.0);
+
+  Graph star = MustBuild(4, {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}});
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(star, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(star, 1), 0.0);  // degree 1
+
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(MeanClusteringCoefficient(triangle, &rng, 100), 1.0);
+}
+
+TEST(AdjustedRandIndexTest, IdenticalPartitions) {
+  Clustering a = NormalizeLabels({0, 0, 1, 1, 2, 2});
+  Clustering b = NormalizeLabels({5, 5, 9, 9, 7, 7});  // same up to renaming
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AdjustedRandIndexTest, OrthogonalPartitionsScoreLow) {
+  // a splits {0..3} vs {4..7}; b alternates: agreement is chance-level.
+  Clustering a = NormalizeLabels({0, 0, 0, 0, 1, 1, 1, 1});
+  Clustering b = NormalizeLabels({0, 1, 0, 1, 0, 1, 0, 1});
+  double ari = AdjustedRandIndex(a, b);
+  EXPECT_LT(ari, 0.1);
+  EXPECT_GT(ari, -0.5);
+}
+
+TEST(AdjustedRandIndexTest, PartialAgreement) {
+  Clustering truth = NormalizeLabels({0, 0, 0, 1, 1, 1});
+  Clustering close = NormalizeLabels({0, 0, 1, 1, 1, 1});  // one misplaced
+  double ari = AdjustedRandIndex(truth, close);
+  EXPECT_GT(ari, 0.3);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(AdjustedRandIndexTest, TrivialPartitions) {
+  Clustering all_one = NormalizeLabels({0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(all_one, all_one), 1.0);
+  Clustering singletons = NormalizeLabels({0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(singletons, singletons), 1.0);
+}
+
+TEST(AdjustedRandIndexTest, LouvainRecoversPlantedCliques) {
+  // Ring of 4 cliques of 5; ground truth = clique membership.
+  std::vector<WeightedEdge> edges;
+  std::vector<uint32_t> truth_labels;
+  for (uint32_t c = 0; c < 4; ++c) {
+    uint32_t base = c * 5;
+    for (uint32_t i = 0; i < 5; ++i) {
+      truth_labels.push_back(c);
+      for (uint32_t j = i + 1; j < 5; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+    edges.push_back({base + 4, ((c + 1) % 4) * 5, 1.0});
+  }
+  auto g = Graph::FromEdges(20, edges);
+  ASSERT_TRUE(g.ok());
+  auto louvain = LouvainClustering(g.value());
+  ASSERT_TRUE(louvain.ok());
+  Clustering truth = NormalizeLabels(std::move(truth_labels));
+  EXPECT_GT(AdjustedRandIndex(truth, louvain.value()), 0.95);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace scube

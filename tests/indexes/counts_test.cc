@@ -1,0 +1,65 @@
+#include "indexes/counts.h"
+
+#include <gtest/gtest.h>
+
+namespace scube {
+namespace indexes {
+namespace {
+
+TEST(GroupDistributionTest, Totals) {
+  GroupDistribution d;
+  d.AddUnit(10, 4);
+  d.AddUnit(20, 6);
+  EXPECT_EQ(d.NumUnits(), 2u);
+  EXPECT_EQ(d.Total(), 30u);
+  EXPECT_EQ(d.Minority(), 10u);
+  EXPECT_DOUBLE_EQ(d.MinorityProportion(), 1.0 / 3.0);
+  EXPECT_EQ(d.UnitTotal(1), 20u);
+  EXPECT_EQ(d.UnitMinority(1), 6u);
+}
+
+TEST(GroupDistributionTest, FromVectors) {
+  auto d = GroupDistribution::FromVectors({5, 10}, {1, 2});
+  EXPECT_EQ(d.NumUnits(), 2u);
+  EXPECT_EQ(d.Total(), 15u);
+  EXPECT_EQ(d.Minority(), 3u);
+}
+
+TEST(GroupDistributionTest, ValidateCatchesBrokenCounts) {
+  GroupDistribution d;
+  d.AddUnit(3, 5);
+  EXPECT_EQ(d.Validate().code(), StatusCode::kInvalidArgument);
+  GroupDistribution ok;
+  ok.AddUnit(5, 5);
+  EXPECT_TRUE(ok.Validate().ok());
+}
+
+TEST(GroupDistributionTest, DegenerateCases) {
+  GroupDistribution empty;
+  EXPECT_TRUE(empty.IsDegenerate());
+
+  GroupDistribution no_minority;
+  no_minority.AddUnit(10, 0);
+  EXPECT_TRUE(no_minority.IsDegenerate());
+
+  GroupDistribution all_minority;
+  all_minority.AddUnit(10, 10);
+  EXPECT_TRUE(all_minority.IsDegenerate());
+
+  GroupDistribution fine;
+  fine.AddUnit(10, 3);
+  EXPECT_FALSE(fine.IsDegenerate());
+}
+
+TEST(GroupDistributionTest, EmptyUnitsAllowed) {
+  GroupDistribution d;
+  d.AddUnit(0, 0);
+  d.AddUnit(10, 5);
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_FALSE(d.IsDegenerate());
+  EXPECT_EQ(d.Total(), 10u);
+}
+
+}  // namespace
+}  // namespace indexes
+}  // namespace scube

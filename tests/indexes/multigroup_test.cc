@@ -1,0 +1,126 @@
+#include "indexes/multigroup.h"
+
+#include <gtest/gtest.h>
+
+#include "indexes/segregation_index.h"
+
+namespace scube {
+namespace indexes {
+namespace {
+
+MultigroupDistribution ThreeGroupEven() {
+  MultigroupDistribution d(3);
+  EXPECT_TRUE(d.AddUnit({10, 20, 30}).ok());
+  EXPECT_TRUE(d.AddUnit({20, 40, 60}).ok());  // same mix, double size
+  return d;
+}
+
+MultigroupDistribution ThreeGroupComplete() {
+  MultigroupDistribution d(3);
+  EXPECT_TRUE(d.AddUnit({50, 0, 0}).ok());
+  EXPECT_TRUE(d.AddUnit({0, 50, 0}).ok());
+  EXPECT_TRUE(d.AddUnit({0, 0, 50}).ok());
+  return d;
+}
+
+TEST(MultigroupDistributionTest, Totals) {
+  auto d = ThreeGroupEven();
+  EXPECT_EQ(d.NumUnits(), 2u);
+  EXPECT_EQ(d.Total(), 180u);
+  EXPECT_EQ(d.GroupTotal(0), 30u);
+  EXPECT_EQ(d.GroupTotal(2), 90u);
+  EXPECT_EQ(d.UnitTotal(1), 120u);
+  EXPECT_EQ(d.UnitGroup(0, 1), 20u);
+}
+
+TEST(MultigroupDistributionTest, ArityChecked) {
+  MultigroupDistribution d(2);
+  EXPECT_FALSE(d.AddUnit({1, 2, 3}).ok());
+  EXPECT_TRUE(d.AddUnit({1, 2}).ok());
+}
+
+TEST(MultigroupDistributionTest, Degeneracy) {
+  MultigroupDistribution empty(2);
+  EXPECT_TRUE(empty.IsDegenerate());
+  MultigroupDistribution one_group(2);
+  ASSERT_TRUE(one_group.AddUnit({5, 0}).ok());
+  EXPECT_TRUE(one_group.IsDegenerate());
+  EXPECT_FALSE(ThreeGroupEven().IsDegenerate());
+}
+
+TEST(MultigroupDistributionTest, BinaryViewMatches) {
+  auto d = ThreeGroupEven();
+  GroupDistribution binary = d.BinaryView(1);
+  EXPECT_EQ(binary.Total(), 180u);
+  EXPECT_EQ(binary.Minority(), 60u);
+  EXPECT_EQ(binary.UnitMinority(0), 20u);
+}
+
+TEST(MultigroupIndexTest, EvenDistributionScoresZero) {
+  auto d = ThreeGroupEven();
+  EXPECT_NEAR(MultigroupDissimilarity(d).value(), 0.0, 1e-12);
+  EXPECT_NEAR(MultigroupInformation(d).value(), 0.0, 1e-12);
+  EXPECT_NEAR(NormalizedExposure(d).value(), 0.0, 1e-12);
+}
+
+TEST(MultigroupIndexTest, CompleteSegregationScoresOne) {
+  auto d = ThreeGroupComplete();
+  EXPECT_NEAR(MultigroupDissimilarity(d).value(), 1.0, 1e-12);
+  EXPECT_NEAR(MultigroupInformation(d).value(), 1.0, 1e-12);
+  EXPECT_NEAR(NormalizedExposure(d).value(), 1.0, 1e-12);
+}
+
+TEST(MultigroupIndexTest, DegenerateRejected) {
+  MultigroupDistribution d(2);
+  ASSERT_TRUE(d.AddUnit({5, 0}).ok());
+  EXPECT_FALSE(MultigroupDissimilarity(d).ok());
+  EXPECT_FALSE(MultigroupInformation(d).ok());
+  EXPECT_FALSE(NormalizedExposure(d).ok());
+}
+
+TEST(MultigroupIndexTest, TwoGroupCaseMatchesBinaryIndexes) {
+  // With k = 2 the multigroup indexes collapse to their binary versions.
+  MultigroupDistribution d(2);
+  ASSERT_TRUE(d.AddUnit({6, 2}).ok());
+  ASSERT_TRUE(d.AddUnit({2, 10}).ok());
+  GroupDistribution binary = d.BinaryView(0);
+
+  EXPECT_NEAR(MultigroupDissimilarity(d).value(),
+              Dissimilarity(binary).value(), 1e-12);
+  EXPECT_NEAR(MultigroupInformation(d).value(),
+              Information(binary).value(), 1e-12);
+  // Normalised exposure equals eta^2 (the correlation ratio) for k = 2.
+  EXPECT_NEAR(NormalizedExposure(d).value(),
+              CorrelationRatio(binary).value(), 1e-12);
+}
+
+TEST(CorrelationRatioTest, RangeAndExtremes) {
+  GroupDistribution complete =
+      GroupDistribution::FromVectors({10, 10}, {10, 0});
+  EXPECT_NEAR(CorrelationRatio(complete).value(), 1.0, 1e-12);
+
+  GroupDistribution even =
+      GroupDistribution::FromVectors({10, 30}, {5, 15});
+  EXPECT_NEAR(CorrelationRatio(even).value(), 0.0, 1e-12);
+
+  GroupDistribution degenerate = GroupDistribution::FromVectors({10}, {0});
+  EXPECT_FALSE(CorrelationRatio(degenerate).ok());
+}
+
+TEST(MultigroupIndexTest, IntermediateValuesBounded) {
+  MultigroupDistribution d(3);
+  ASSERT_TRUE(d.AddUnit({30, 10, 5}).ok());
+  ASSERT_TRUE(d.AddUnit({5, 25, 10}).ok());
+  ASSERT_TRUE(d.AddUnit({10, 10, 35}).ok());
+  for (auto result :
+       {MultigroupDissimilarity(d), MultigroupInformation(d),
+        NormalizedExposure(d)}) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.value(), 0.0);
+    EXPECT_LT(result.value(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace indexes
+}  // namespace scube

@@ -1,0 +1,264 @@
+#include "indexes/segregation_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace scube {
+namespace indexes {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+GroupDistribution CompleteSegregation() {
+  // Every unit single-group: the textbook maximum.
+  return GroupDistribution::FromVectors({10, 10}, {10, 0});
+}
+
+GroupDistribution PerfectlyUniform() {
+  // Every unit mirrors the global proportion: the textbook minimum.
+  return GroupDistribution::FromVectors({10, 30}, {5, 15});
+}
+
+GroupDistribution HandAnchor() {
+  // T=20, M=8, p_1=0.75, p_2=1/6 — values computed by hand (see asserts).
+  return GroupDistribution::FromVectors({8, 12}, {6, 2});
+}
+
+TEST(IndexKindTest, NamesRoundTrip) {
+  for (IndexKind kind : AllIndexKinds()) {
+    auto back = IndexKindFromString(IndexKindToString(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(IndexKindFromString("entropy-ish").ok());
+}
+
+TEST(DissimilarityTest, Extremes) {
+  EXPECT_NEAR(Dissimilarity(CompleteSegregation()).value(), 1.0, kTol);
+  EXPECT_NEAR(Dissimilarity(PerfectlyUniform()).value(), 0.0, kTol);
+}
+
+TEST(DissimilarityTest, HandAnchor) {
+  EXPECT_NEAR(Dissimilarity(HandAnchor()).value(), 0.5833333333, 1e-9);
+}
+
+TEST(GiniTest, Extremes) {
+  EXPECT_NEAR(Gini(CompleteSegregation()).value(), 1.0, kTol);
+  EXPECT_NEAR(Gini(PerfectlyUniform()).value(), 0.0, kTol);
+}
+
+TEST(GiniTest, HandAnchor) {
+  EXPECT_NEAR(Gini(HandAnchor()).value(), 0.5833333333, 1e-9);
+}
+
+TEST(InformationTest, Extremes) {
+  EXPECT_NEAR(Information(CompleteSegregation()).value(), 1.0, kTol);
+  EXPECT_NEAR(Information(PerfectlyUniform()).value(), 0.0, kTol);
+}
+
+TEST(InformationTest, HandAnchor) {
+  EXPECT_NEAR(Information(HandAnchor()).value(), 0.2640978, 1e-6);
+}
+
+TEST(IsolationInteractionTest, ExtremesAndAnchor) {
+  EXPECT_NEAR(Isolation(CompleteSegregation()).value(), 1.0, kTol);
+  EXPECT_NEAR(Interaction(CompleteSegregation()).value(), 0.0, kTol);
+  // Under evenness, isolation equals the global proportion P.
+  EXPECT_NEAR(Isolation(PerfectlyUniform()).value(), 0.5, kTol);
+  EXPECT_NEAR(Isolation(HandAnchor()).value(), 0.6041666667, 1e-9);
+  EXPECT_NEAR(Interaction(HandAnchor()).value(), 0.3958333333, 1e-9);
+}
+
+TEST(AtkinsonTest, ExtremesAndAnchor) {
+  EXPECT_NEAR(Atkinson(CompleteSegregation()).value(), 1.0, kTol);
+  EXPECT_NEAR(Atkinson(PerfectlyUniform()).value(), 0.0, kTol);
+  EXPECT_NEAR(Atkinson(HandAnchor()).value(), 0.3439181, 1e-6);
+}
+
+TEST(AtkinsonTest, ParameterValidation) {
+  EXPECT_FALSE(Atkinson(HandAnchor(), 0.0).ok());
+  EXPECT_FALSE(Atkinson(HandAnchor(), 1.0).ok());
+  EXPECT_FALSE(Atkinson(HandAnchor(), -0.5).ok());
+  EXPECT_TRUE(Atkinson(HandAnchor(), 0.25).ok());
+}
+
+TEST(DegenerateTest, AllIndexesRejectDegenerateInputs) {
+  GroupDistribution no_minority = GroupDistribution::FromVectors({10}, {0});
+  GroupDistribution all_minority = GroupDistribution::FromVectors({10}, {10});
+  GroupDistribution empty;
+  for (IndexKind kind : AllIndexKinds()) {
+    EXPECT_EQ(ComputeIndex(kind, no_minority).status().code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(ComputeIndex(kind, all_minority).status().code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(ComputeIndex(kind, empty).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(DegenerateTest, BrokenCountsRejected) {
+  GroupDistribution broken = GroupDistribution::FromVectors({3}, {5});
+  EXPECT_EQ(Dissimilarity(broken).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ComputeAllTest, MatchesIndividualCalls) {
+  auto all = ComputeAllIndexes(HandAnchor());
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(all->defined);
+  for (IndexKind kind : AllIndexKinds()) {
+    EXPECT_NEAR((*all)[kind], ComputeIndex(kind, HandAnchor()).value(), kTol);
+  }
+}
+
+TEST(ComputeAllTest, DegenerateYieldsUndefined) {
+  auto all = ComputeAllIndexes(GroupDistribution::FromVectors({10}, {0}));
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(all->defined);
+}
+
+TEST(SingleUnitTest, EverythingInOneUnitIsUnsegregated) {
+  // One unit holding everyone: evenness indexes are 0 by definition.
+  GroupDistribution d = GroupDistribution::FromVectors({100}, {30});
+  EXPECT_NEAR(Dissimilarity(d).value(), 0.0, kTol);
+  EXPECT_NEAR(Gini(d).value(), 0.0, kTol);
+  EXPECT_NEAR(Information(d).value(), 0.0, kTol);
+  EXPECT_NEAR(Atkinson(d).value(), 0.0, kTol);
+  EXPECT_NEAR(Isolation(d).value(), 0.3, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps on random distributions.
+// ---------------------------------------------------------------------------
+
+GroupDistribution RandomDistribution(Rng* rng, size_t num_units,
+                                     uint64_t max_unit) {
+  GroupDistribution d;
+  for (size_t i = 0; i < num_units; ++i) {
+    uint64_t t = rng->NextBounded(max_unit + 1);
+    uint64_t m = t == 0 ? 0 : rng->NextBounded(t + 1);
+    d.AddUnit(t, m);
+  }
+  return d;
+}
+
+class IndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexPropertyTest, InvariantsHoldOnRandomData) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t units = 1 + rng.NextBounded(30);
+    GroupDistribution d = RandomDistribution(&rng, units, 50);
+    if (d.IsDegenerate()) continue;
+
+    auto all = ComputeAllIndexes(d);
+    ASSERT_TRUE(all.ok());
+    ASSERT_TRUE(all->defined);
+
+    // Range [0,1] for every index.
+    for (IndexKind kind : AllIndexKinds()) {
+      EXPECT_GE((*all)[kind], -1e-9) << IndexKindToString(kind);
+      EXPECT_LE((*all)[kind], 1.0 + 1e-9) << IndexKindToString(kind);
+    }
+    // Binary groups: isolation + interaction = 1.
+    EXPECT_NEAR((*all)[IndexKind::kIsolation] +
+                    (*all)[IndexKind::kInteraction],
+                1.0, 1e-9);
+    // Dissimilarity never exceeds Gini (James & Taeuber).
+    EXPECT_LE((*all)[IndexKind::kDissimilarity],
+              (*all)[IndexKind::kGini] + 1e-9);
+    // Isolation is at least the global proportion P.
+    EXPECT_GE((*all)[IndexKind::kIsolation],
+              d.MinorityProportion() - 1e-9);
+    // Fast Gini matches the quadratic reference.
+    EXPECT_NEAR((*all)[IndexKind::kGini],
+                GiniQuadraticReference(d).value(), 1e-9);
+  }
+}
+
+TEST_P(IndexPropertyTest, OrganizationalEquivalence) {
+  // Splitting a unit into two parts with identical minority proportion
+  // leaves every index unchanged.
+  Rng rng(GetParam() * 7919);
+  for (int trial = 0; trial < 20; ++trial) {
+    GroupDistribution d = RandomDistribution(&rng, 6, 40);
+    if (d.IsDegenerate()) continue;
+    // Build the split version: duplicate each unit as two halves (2t, 2m)
+    // -> (t, m) + (t, m) keeps proportions identical.
+    GroupDistribution doubled, split;
+    for (size_t i = 0; i < d.NumUnits(); ++i) {
+      doubled.AddUnit(2 * d.UnitTotal(i), 2 * d.UnitMinority(i));
+      split.AddUnit(d.UnitTotal(i), d.UnitMinority(i));
+      split.AddUnit(d.UnitTotal(i), d.UnitMinority(i));
+    }
+    auto a = ComputeAllIndexes(doubled);
+    auto b = ComputeAllIndexes(split);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    if (!a->defined) continue;
+    for (IndexKind kind : AllIndexKinds()) {
+      EXPECT_NEAR((*a)[kind], (*b)[kind], 1e-9) << IndexKindToString(kind);
+    }
+  }
+}
+
+TEST_P(IndexPropertyTest, TransfersWeaklyIncreaseIsolation) {
+  // Moving a minority member from a low-proportion unit to a
+  // high-proportion unit weakly increases the isolation index.
+  Rng rng(GetParam() * 104729);
+  for (int trial = 0; trial < 20; ++trial) {
+    GroupDistribution d = RandomDistribution(&rng, 8, 60);
+    if (d.IsDegenerate()) continue;
+    // Find donor (lowest p with m>0, not full) and recipient (highest p,
+    // not full, different unit).
+    int donor = -1, recipient = -1;
+    double donor_p = 2.0, recipient_p = -1.0;
+    for (size_t i = 0; i < d.NumUnits(); ++i) {
+      if (d.UnitTotal(i) == 0) continue;
+      double p = static_cast<double>(d.UnitMinority(i)) / d.UnitTotal(i);
+      if (d.UnitMinority(i) > 0 && p < donor_p) {
+        donor_p = p;
+        donor = static_cast<int>(i);
+      }
+      if (d.UnitMinority(i) < d.UnitTotal(i) && p > recipient_p) {
+        recipient_p = p;
+        recipient = static_cast<int>(i);
+      }
+    }
+    if (donor < 0 || recipient < 0 || donor == recipient ||
+        donor_p >= recipient_p) {
+      continue;
+    }
+    GroupDistribution moved;
+    for (size_t i = 0; i < d.NumUnits(); ++i) {
+      uint64_t m = d.UnitMinority(i);
+      uint64_t t = d.UnitTotal(i);
+      if (static_cast<int>(i) == donor) {
+        m -= 1;
+        t -= 1;
+      }
+      if (static_cast<int>(i) == recipient) {
+        m += 1;
+        t += 1;
+      }
+      moved.AddUnit(t, m);
+    }
+    if (moved.IsDegenerate()) continue;
+    auto before = ComputeAllIndexes(d);
+    auto after = ComputeAllIndexes(moved);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_GE((*after)[IndexKind::kIsolation],
+              (*before)[IndexKind::kIsolation] - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace indexes
+}  // namespace scube

@@ -1,0 +1,93 @@
+#include "indexes/significance.h"
+
+#include <gtest/gtest.h>
+
+namespace scube {
+namespace indexes {
+namespace {
+
+TEST(SignificanceTest, PlantedSegregationIsSignificant) {
+  // Ten units, strongly sorted minority: p should be tiny.
+  GroupDistribution d;
+  for (int i = 0; i < 5; ++i) d.AddUnit(100, 90);
+  for (int i = 0; i < 5; ++i) d.AddUnit(100, 5);
+  auto r = PermutationTest(IndexKind::kDissimilarity, d);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_LT(r->p_value, 0.02);
+  EXPECT_GT(r->observed, r->null_mean);
+  EXPECT_EQ(r->num_samples, 200u);
+}
+
+TEST(SignificanceTest, RandomAssignmentIsNotSignificant) {
+  // Counts drawn to match the null closely: large p expected.
+  GroupDistribution d;
+  d.AddUnit(100, 30);
+  d.AddUnit(100, 29);
+  d.AddUnit(100, 31);
+  d.AddUnit(100, 30);
+  auto r = PermutationTest(IndexKind::kDissimilarity, d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.5);
+}
+
+TEST(SignificanceTest, DeterministicGivenSeed) {
+  GroupDistribution d;
+  d.AddUnit(50, 20);
+  d.AddUnit(50, 5);
+  SignificanceOptions opts;
+  opts.seed = 99;
+  auto a = PermutationTest(IndexKind::kGini, d, opts);
+  auto b = PermutationTest(IndexKind::kGini, d, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->p_value, b->p_value);
+  EXPECT_DOUBLE_EQ(a->null_mean, b->null_mean);
+}
+
+TEST(SignificanceTest, NullStatsAreSane) {
+  GroupDistribution d;
+  for (int i = 0; i < 8; ++i) d.AddUnit(40, i < 4 ? 30 : 2);
+  auto r = PermutationTest(IndexKind::kInformation, d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->null_mean, 0.0);
+  EXPECT_LT(r->null_mean, 1.0);
+  EXPECT_GE(r->null_stddev, 0.0);
+  EXPECT_GT(r->p_value, 0.0);  // add-one correction keeps it positive
+  EXPECT_LE(r->p_value, 1.0);
+}
+
+TEST(SignificanceTest, RejectsDegenerateAndBadOptions) {
+  GroupDistribution degenerate = GroupDistribution::FromVectors({10}, {0});
+  EXPECT_FALSE(PermutationTest(IndexKind::kDissimilarity, degenerate).ok());
+
+  GroupDistribution d = GroupDistribution::FromVectors({10, 10}, {5, 2});
+  SignificanceOptions opts;
+  opts.num_samples = 0;
+  EXPECT_EQ(PermutationTest(IndexKind::kDissimilarity, d, opts)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+class SignificanceSweep : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(SignificanceSweep, AllIndexesSupportTheTest) {
+  GroupDistribution d;
+  for (int i = 0; i < 6; ++i) d.AddUnit(60, i < 3 ? 40 : 10);
+  SignificanceOptions opts;
+  opts.num_samples = 50;
+  auto r = PermutationTest(GetParam(), d, opts);
+  ASSERT_TRUE(r.ok()) << IndexKindToString(GetParam());
+  EXPECT_GT(r->p_value, 0.0);
+  EXPECT_LE(r->p_value, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SignificanceSweep,
+    ::testing::Values(IndexKind::kDissimilarity, IndexKind::kGini,
+                      IndexKind::kInformation, IndexKind::kIsolation,
+                      IndexKind::kInteraction, IndexKind::kAtkinson));
+
+}  // namespace
+}  // namespace indexes
+}  // namespace scube

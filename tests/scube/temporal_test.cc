@@ -1,0 +1,109 @@
+#include "scube/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenarios.h"
+
+namespace scube {
+namespace pipeline {
+namespace {
+
+TEST(TemporalTest, TracksFemaleCellAcrossYears) {
+  auto scenario =
+      datagen::GenerateScenario(datagen::EstonianConfig(0.003, 31));
+  ASSERT_TRUE(scenario.ok());
+
+  PipelineConfig config;
+  config.unit_source = UnitSource::kGroupAttribute;
+  config.group_unit_attribute = "sector";
+  config.cube.min_support = 2;
+  config.cube.mode = fpm::MineMode::kAll;
+  config.cube.max_sa_items = 1;
+  config.cube.max_ca_items = 0;
+
+  std::vector<graph::Date> dates{2000, 2005, 2010};
+  TrackedCell female;
+  female.sa = {{"gender", "F"}};
+  auto result = RunTemporalAnalysis(scenario->inputs, config, dates,
+                                    {female});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dates, dates);
+  ASSERT_EQ(result->series.size(), 1u);
+  ASSERT_EQ(result->series[0].size(), 3u);
+  int defined = 0;
+  for (const TemporalPoint& p : result->series[0]) {
+    if (p.defined) {
+      ++defined;
+      EXPECT_GT(p.context_size, 0u);
+      EXPECT_GT(p.minority_size, 0u);
+      EXPECT_GT(p.MinorityShare(), 0.0);
+      EXPECT_LT(p.MinorityShare(), 1.0);
+      double iso = p.indexes[indexes::IndexKind::kIsolation];
+      double inter = p.indexes[indexes::IndexKind::kInteraction];
+      EXPECT_NEAR(iso + inter, 1.0, 1e-9);
+    }
+  }
+  EXPECT_GE(defined, 2);
+}
+
+TEST(TemporalTest, MultipleTrackedCells) {
+  auto scenario =
+      datagen::GenerateScenario(datagen::EstonianConfig(0.003, 37));
+  ASSERT_TRUE(scenario.ok());
+  PipelineConfig config;
+  config.unit_source = UnitSource::kGroupAttribute;
+  config.group_unit_attribute = "sector";
+  config.cube.min_support = 2;
+  config.cube.mode = fpm::MineMode::kAll;
+  config.cube.max_sa_items = 2;
+  config.cube.max_ca_items = 0;
+
+  TrackedCell female{{{"gender", "F"}}, {}};
+  TrackedCell male{{{"gender", "M"}}, {}};
+  TrackedCell young_female{{{"gender", "F"}, {"age_bin", "18-38"}}, {}};
+  auto result = RunTemporalAnalysis(scenario->inputs, config, {2005, 2010},
+                                    {female, male, young_female});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->series.size(), 3u);
+  // F and M shares are complementary where both defined.
+  for (size_t j = 0; j < 2; ++j) {
+    const auto& f = result->series[0][j];
+    const auto& m = result->series[1][j];
+    if (f.defined && m.defined) {
+      EXPECT_EQ(f.context_size, m.context_size);
+      EXPECT_EQ(f.minority_size + m.minority_size, f.context_size);
+    }
+  }
+}
+
+TEST(TemporalTest, UnknownAttributeYieldsUndefinedPoints) {
+  auto scenario =
+      datagen::GenerateScenario(datagen::EstonianConfig(0.002, 41));
+  ASSERT_TRUE(scenario.ok());
+  PipelineConfig config;
+  config.unit_source = UnitSource::kGroupAttribute;
+  config.group_unit_attribute = "sector";
+  config.cube.min_support = 2;
+
+  TrackedCell bogus{{{"species", "android"}}, {}};
+  auto result = RunTemporalAnalysis(scenario->inputs, config, {2005},
+                                    {bogus});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->series[0][0].defined);
+}
+
+TEST(TemporalTest, ValidatesArguments) {
+  auto scenario =
+      datagen::GenerateScenario(datagen::EstonianConfig(0.002, 43));
+  ASSERT_TRUE(scenario.ok());
+  PipelineConfig config;
+  TrackedCell female{{{"gender", "F"}}, {}};
+  EXPECT_FALSE(
+      RunTemporalAnalysis(scenario->inputs, config, {}, {female}).ok());
+  EXPECT_FALSE(
+      RunTemporalAnalysis(scenario->inputs, config, {2000}, {}).ok());
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace scube

@@ -1,0 +1,114 @@
+#include "viz/xlsx_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cube/builder.h"
+
+namespace scube {
+namespace viz {
+namespace {
+
+TEST(CellRefTest, Letters) {
+  EXPECT_EQ(XlsxWriter::CellRef(0, 0), "A1");
+  EXPECT_EQ(XlsxWriter::CellRef(1, 1), "B2");
+  EXPECT_EQ(XlsxWriter::CellRef(0, 25), "Z1");
+  EXPECT_EQ(XlsxWriter::CellRef(0, 26), "AA1");
+  EXPECT_EQ(XlsxWriter::CellRef(9, 27), "AB10");
+  EXPECT_EQ(XlsxWriter::CellRef(0, 701), "ZZ1");
+  EXPECT_EQ(XlsxWriter::CellRef(0, 702), "AAA1");
+}
+
+TEST(XmlEscapeTest, Entities) {
+  EXPECT_EQ(XlsxWriter::XmlEscape("a<b>&\"'c"),
+            "a&lt;b&gt;&amp;&quot;&apos;c");
+  EXPECT_EQ(XlsxWriter::XmlEscape("plain"), "plain");
+}
+
+TEST(XlsxWriterTest, SheetNameValidation) {
+  XlsxWriter writer;
+  EXPECT_FALSE(writer.AddSheet("").ok());
+  EXPECT_FALSE(writer.AddSheet(std::string(32, 'x')).ok());
+  EXPECT_FALSE(writer.AddSheet("bad/name").ok());
+  EXPECT_FALSE(writer.AddSheet("bad:name").ok());
+  ASSERT_TRUE(writer.AddSheet("fine").ok());
+  EXPECT_FALSE(writer.AddSheet("fine").ok());  // duplicate
+}
+
+TEST(XlsxWriterTest, EmptyWorkbookRejected) {
+  XlsxWriter writer;
+  EXPECT_EQ(writer.Serialize().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(XlsxWriterTest, SerializedPackageHasAllParts) {
+  XlsxWriter writer;
+  auto sheet = writer.AddSheet("data");
+  ASSERT_TRUE(sheet.ok());
+  sheet.value()->AddRow({std::string("name"), std::string("value")});
+  sheet.value()->AddRow({std::string("dissimilarity"), 0.78});
+  sheet.value()->AddRow({std::string("count"), int64_t{42}});
+  auto second = writer.AddSheet("more");
+  ASSERT_TRUE(second.ok());
+  second.value()->AddRow({int64_t{1}});
+
+  auto bytes = writer.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  const std::string& b = bytes.value();
+  // ZIP magic.
+  EXPECT_EQ(b.substr(0, 2), "PK");
+  // All OOXML part names present.
+  EXPECT_NE(b.find("[Content_Types].xml"), std::string::npos);
+  EXPECT_NE(b.find("_rels/.rels"), std::string::npos);
+  EXPECT_NE(b.find("xl/workbook.xml"), std::string::npos);
+  EXPECT_NE(b.find("xl/worksheets/sheet1.xml"), std::string::npos);
+  EXPECT_NE(b.find("xl/worksheets/sheet2.xml"), std::string::npos);
+  // Stored entries are readable in the raw stream: check cell payloads.
+  EXPECT_NE(b.find("<is><t>dissimilarity</t></is>"), std::string::npos);
+  EXPECT_NE(b.find("<v>0.7800000000</v>"), std::string::npos);
+  EXPECT_NE(b.find("<v>42</v>"), std::string::npos);
+  EXPECT_NE(b.find("sheet name=\"data\""), std::string::npos);
+}
+
+TEST(XlsxWriterTest, EscapesSheetContent) {
+  XlsxWriter writer;
+  auto sheet = writer.AddSheet("s");
+  ASSERT_TRUE(sheet.ok());
+  sheet.value()->AddRow({std::string("a<b&c")});
+  auto bytes = writer.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_NE(bytes->find("a&lt;b&amp;c"), std::string::npos);
+  EXPECT_EQ(bytes->find("a<b&c"), std::string::npos);
+}
+
+TEST(WriteCubeXlsxTest, ProducesFileFromRealCube) {
+  using relational::AttributeKind;
+  using relational::ColumnType;
+  relational::Schema schema({
+      {"gender", ColumnType::kCategorical, AttributeKind::kSegregation},
+      {"unitID", ColumnType::kCategorical, AttributeKind::kUnit},
+  });
+  relational::Table t(schema);
+  ASSERT_TRUE(t.AppendRowFromStrings({"F", "u0"}).ok());
+  ASSERT_TRUE(t.AppendRowFromStrings({"M", "u0"}).ok());
+  ASSERT_TRUE(t.AppendRowFromStrings({"F", "u1"}).ok());
+  ASSERT_TRUE(t.AppendRowFromStrings({"M", "u1"}).ok());
+  cube::CubeBuilderOptions opts;
+  opts.mode = fpm::MineMode::kAll;
+  auto built = cube::BuildSegregationCube(t, opts);
+  ASSERT_TRUE(built.ok());
+
+  std::string path = ::testing::TempDir() + "/scube_test.xlsx";
+  ASSERT_TRUE(WriteCubeXlsx(built.value(), path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->substr(0, 2), "PK");
+  EXPECT_NE(content->find("gender=F"), std::string::npos);
+  EXPECT_NE(content->find("summary"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace viz
+}  // namespace scube
