@@ -1,0 +1,156 @@
+// EFF-QUERY: SCubeQL serving cost. Measures queries/sec through the
+// QueryService under three regimes:
+//   - cold cache: every query misses and executes against the cube,
+//   - hot cache: repeats answered straight from the LRU result cache,
+//   - batched shared scan: a mixed batch fanned out over the worker pool,
+//     scan-shaped queries sharing one pass over the cube's cells.
+// The worker-thread sweep (1..8) shows the concurrent serving layer
+// scaling; hot vs cold shows the cache-hit speedup.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/scenarios.h"
+#include "query/cube_store.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/service.h"
+#include "scube/pipeline.h"
+
+namespace {
+
+using namespace scube;
+
+query::CubeStore& Store() {
+  static query::CubeStore* store = [] {
+    auto s = datagen::GenerateScenario(datagen::ItalianConfig(0.002));
+    if (!s.ok()) {
+      std::fprintf(stderr, "scenario: %s\n", s.status().ToString().c_str());
+      std::abort();
+    }
+    pipeline::PipelineConfig config;
+    config.unit_source = pipeline::UnitSource::kGroupAttribute;
+    config.group_unit_attribute = "sector";
+    config.cube.min_support = 20;
+    config.cube.mode = fpm::MineMode::kAll;
+    config.cube.max_sa_items = 2;
+    config.cube.max_ca_items = 1;
+    auto result = pipeline::RunPipeline(s->inputs, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "pipeline: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    auto* st = new query::CubeStore();
+    query::PublishPipelineResult(st, "default", std::move(*result));
+    return st;
+  }();
+  return *store;
+}
+
+// A mixed workload: scan-shaped analytics, navigation and explorer verbs.
+std::vector<std::string> Workload(size_t n) {
+  const std::vector<std::string> pool = {
+      "TOPK 5 BY dissimilarity WHERE T >= 30",
+      "TOPK 10 BY gini WHERE T >= 50 AND M >= 10",
+      "TOPK 3 BY isolation",
+      "DICE sa=gender=F",
+      "DICE ca=residence_region=north WHERE T >= 30",
+      "SLICE sa=gender=F",
+      "SLICE sa=gender=F | ca=residence_region=north",
+      "DRILLDOWN sa=gender=F",
+      "ROLLUP sa=gender=F & age_bin=young",
+      "SURPRISES BY dissimilarity MINDELTA 0.05 LIMIT 10",
+      "REVERSALS MINGAP 0.05 LIMIT 10",
+      "TOPK 8 BY atkinson ORDER BY T DESC",
+  };
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(pool[i % pool.size()]);
+  return out;
+}
+
+// Cold cache: capacity 0, so every query parses, plans and executes.
+void BM_QueryCold(benchmark::State& state) {
+  query::ServiceOptions options;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  options.cache_capacity = 0;
+  query::QueryService service(&Store(), options);
+  auto workload = Workload(64);
+  for (auto _ : state) {
+    auto responses = service.ExecuteBatch(workload);
+    benchmark::DoNotOptimize(responses);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  state.counters["workers"] = static_cast<double>(options.num_workers);
+}
+BENCHMARK(BM_QueryCold)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Hot cache: one warmup batch, then every query is an LRU hit.
+void BM_QueryHot(benchmark::State& state) {
+  query::ServiceOptions options;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  options.cache_capacity = 256;
+  query::QueryService service(&Store(), options);
+  auto workload = Workload(64);
+  auto warmup = service.ExecuteBatch(workload);
+  benchmark::DoNotOptimize(warmup);
+  for (auto _ : state) {
+    auto responses = service.ExecuteBatch(workload);
+    benchmark::DoNotOptimize(responses);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  state.counters["hit_rate"] = [&] {
+    auto stats = service.cache_stats();
+    return stats.hits + stats.misses == 0
+               ? 0.0
+               : static_cast<double>(stats.hits) /
+                     static_cast<double>(stats.hits + stats.misses);
+  }();
+}
+BENCHMARK(BM_QueryHot)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Shared scan vs one-at-a-time: the same 64 scan-shaped queries through
+// Executor::ExecuteBatch (one cell pass) and through 64 Execute calls.
+void BM_ExecutorSharedScan(benchmark::State& state) {
+  auto snapshot = Store().Get("default");
+  query::Executor executor(*snapshot);
+  std::vector<query::Query> queries;
+  for (const std::string& text : Workload(64)) {
+    auto q = query::Parse(text);
+    if (q.ok() && (q->verb == query::Verb::kTopK ||
+                   q->verb == query::Verb::kDice ||
+                   q->verb == query::Verb::kSlice)) {
+      queries.push_back(std::move(*q));
+    }
+  }
+  bool shared = state.range(0) == 1;
+  for (auto _ : state) {
+    if (shared) {
+      auto results = executor.ExecuteBatch(queries);
+      benchmark::DoNotOptimize(results);
+    } else {
+      for (const query::Query& q : queries) {
+        auto result = executor.Execute(q);
+        benchmark::DoNotOptimize(result);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  state.SetLabel(shared ? "shared-scan" : "per-query");
+}
+BENCHMARK(BM_ExecutorSharedScan)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,12 +5,29 @@
 namespace scube {
 namespace cube {
 
-namespace {
-
-bool PassesFilters(const CubeCell& cell, const ExplorerOptions& options) {
+bool PassesExplorerFilters(const CubeCell& cell,
+                           const ExplorerOptions& options) {
   if (!cell.indexes.defined) return false;
   if (cell.context_size < options.min_context_size) return false;
   if (cell.minority_size < options.min_minority_size) return false;
+  if (options.require_nonempty_sa && cell.coords.sa.empty()) return false;
+  return true;
+}
+
+namespace {
+
+bool PassesFilters(const CubeCell& cell, const ExplorerOptions& options) {
+  return PassesExplorerFilters(cell, options);
+}
+
+// Screen for cells used as comparison baselines (roll-up parents, drill-down
+// children): their index values are read, so they must carry a segregation
+// reading themselves. Cube-builder cubes leave pure-context cells undefined
+// (M = T), but hand-built cubes can Insert() a pure-context cell flagged
+// defined — without the require_nonempty_sa guard such a cell would leak in
+// as a baseline that TopSegregatedContexts correctly filters out.
+bool UsableAsComparison(const CubeCell& cell, const ExplorerOptions& options) {
+  if (!cell.indexes.defined) return false;
   if (options.require_nonempty_sa && cell.coords.sa.empty()) return false;
   return true;
 }
@@ -46,7 +63,7 @@ std::vector<SurpriseFinding> DrillDownSurprises(
     double best_parent = 0.0;
     bool any_defined_parent = false;
     for (const CubeCell* parent : parents) {
-      if (!parent->indexes.defined) continue;
+      if (!UsableAsComparison(*parent, options)) continue;
       any_defined_parent = true;
       best_parent = std::max(best_parent, parent->Value(kind));
     }
@@ -75,7 +92,7 @@ std::vector<GranularityReversal> FindGranularityReversals(
     std::vector<const CubeCell*> children;
     for (const CubeCell* child : cube.Children(parent->coords)) {
       if (child->coords.sa == parent->coords.sa &&
-          child->indexes.defined &&
+          UsableAsComparison(*child, options) &&
           child->context_size >= options.min_context_size &&
           child->minority_size >= options.min_minority_size) {
         children.push_back(child);

@@ -23,9 +23,19 @@ struct ExplorerOptions {
   uint64_t min_minority_size = 5;
 
   /// Only cells with a non-⋆ minority subgroup (pure-context cells carry no
-  /// segregation reading).
+  /// segregation reading). Also screens the comparison cells — roll-up
+  /// parents in DrillDownSurprises, drill-down children in
+  /// FindGranularityReversals — so a hand-built cube with a defined
+  /// pure-context cell cannot leak one in as a baseline.
   bool require_nonempty_sa = true;
 };
+
+/// True iff the cell carries a segregation reading under the filters:
+/// defined indexes, the T/M floors, and (when required) a non-⋆ subgroup.
+/// The per-cell screen every exploration query applies; exported so other
+/// layers (e.g. the SCubeQL executor) cannot drift from it.
+bool PassesExplorerFilters(const CubeCell& cell,
+                           const ExplorerOptions& options);
 
 /// \brief A ranked finding.
 struct RankedCell {

@@ -1,0 +1,108 @@
+#include "query/cube_store.h"
+
+#include <algorithm>
+
+namespace scube {
+namespace query {
+
+uint64_t CubeStore::Publish(const std::string& name,
+                            cube::SegregationCube cube) {
+  auto snapshot =
+      std::make_shared<const cube::SegregationCube>(std::move(cube));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.cube = std::move(snapshot);
+  return ++entry.version;
+}
+
+CubeStore::Snapshot CubeStore::Get(const std::string& name,
+                                   uint64_t* version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (version != nullptr) {
+    *version = it == entries_.end() ? 0 : it->second.version;
+  }
+  return it == entries_.end() ? nullptr : it->second.cube;
+}
+
+uint64_t CubeStore::Version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> CubeStore::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+uint64_t PublishPipelineResult(CubeStore* store, const std::string& name,
+                               pipeline::PipelineResult&& result) {
+  return store->Publish(name, std::move(result.cube));
+}
+
+std::string ResultCache::MakeKey(const std::string& cube, uint64_t version,
+                                 const std::string& canonical_query) {
+  return cube + '\x1F' + std::to_string(version) + '\x1F' + canonical_query;
+}
+
+std::optional<QueryResult> ResultCache::Get(
+    const std::string& cube, uint64_t version,
+    const std::string& canonical_query) {
+  std::string key = MakeKey(cube, version, canonical_query);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& cube, uint64_t version,
+                      const std::string& canonical_query,
+                      QueryResult result) {
+  if (capacity_ == 0) return;
+  std::string key = MakeKey(cube, version, canonical_query);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace query
+}  // namespace scube

@@ -1,0 +1,107 @@
+// CubeStore: the registry between cube *builds* and cube *queries*.
+//
+// Pipeline runs publish immutable SegregationCube snapshots under a name;
+// queries take shared_ptr snapshots and keep working on them even while a
+// newer version of the same cube is being published — publishing never
+// blocks readers, readers never block builds. Each publish bumps a
+// monotonically increasing version, which the result cache keys on, so
+// stale results age out without explicit invalidation.
+
+#ifndef SCUBE_QUERY_CUBE_STORE_H_
+#define SCUBE_QUERY_CUBE_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cube/cube.h"
+#include "query/query_result.h"
+#include "scube/pipeline.h"
+
+namespace scube {
+namespace query {
+
+/// \brief Named, versioned, immutable cube snapshots. Thread-safe.
+class CubeStore {
+ public:
+  using Snapshot = std::shared_ptr<const cube::SegregationCube>;
+
+  /// Publishes (or replaces) the cube under `name`; returns the new
+  /// version (1 on first publish). Existing snapshots stay valid.
+  uint64_t Publish(const std::string& name, cube::SegregationCube cube);
+
+  /// Current snapshot, or nullptr when no cube has that name. When
+  /// `version` is non-null it receives the snapshot's version (0 when
+  /// absent) — taken under the same lock, so the pair is consistent even
+  /// against concurrent publishes.
+  Snapshot Get(const std::string& name, uint64_t* version = nullptr) const;
+
+  /// Current version; 0 when absent.
+  uint64_t Version(const std::string& name) const;
+
+  /// Published cube names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    Snapshot cube;
+    uint64_t version = 0;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Publishes the cube a pipeline run produced. The rest of the
+/// PipelineResult (final table, clustering, timings) stays with the
+/// caller; only the cube enters the serving layer.
+uint64_t PublishPipelineResult(CubeStore* store, const std::string& name,
+                               pipeline::PipelineResult&& result);
+
+/// \brief LRU cache of query results, keyed by (cube, version, canonical
+/// query text). Thread-safe. A new cube version changes the key, so stale
+/// entries are never served and fall out through normal LRU eviction.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Cache lookup; refreshes recency on hit.
+  std::optional<QueryResult> Get(const std::string& cube, uint64_t version,
+                                 const std::string& canonical_query);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when over capacity. No-op when capacity is 0.
+  void Put(const std::string& cube, uint64_t version,
+           const std::string& canonical_query, QueryResult result);
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  using LruList = std::list<std::pair<std::string, QueryResult>>;
+
+  static std::string MakeKey(const std::string& cube, uint64_t version,
+                             const std::string& canonical_query);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  ///< front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_CUBE_STORE_H_

@@ -1,0 +1,346 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+namespace scube {
+namespace query {
+
+namespace {
+
+constexpr char kKeySep = '\x1F';
+
+std::string ItemKey(const std::string& attr, const std::string& value) {
+  return attr + kKeySep + value;
+}
+
+ResultRow MakeRow(const cube::SegregationCube& cube,
+                  const cube::CubeCell& cell) {
+  ResultRow row;
+  row.sa = cube.catalog().LabelSet(cell.coords.sa);
+  row.ca = cube.catalog().LabelSet(cell.coords.ca);
+  row.t = cell.context_size;
+  row.m = cell.minority_size;
+  row.units = cell.num_units;
+  row.defined = cell.indexes.defined;
+  row.indexes = cell.indexes.values;
+  return row;
+}
+
+/// WHERE filter for navigation verbs: only the explicitly given bounds.
+bool PassesWhere(const cube::CubeCell& cell, const Query& q) {
+  if (q.min_t && cell.context_size < *q.min_t) return false;
+  if (q.min_m && cell.minority_size < *q.min_m) return false;
+  return true;
+}
+
+/// Analytic verbs inherit the explorer defaults (T >= 30, M >= 5,
+/// non-empty subgroup) with WHERE bounds overriding.
+cube::ExplorerOptions ExplorerOptionsFor(const Query& q) {
+  cube::ExplorerOptions opts;
+  if (q.min_t) opts.min_context_size = *q.min_t;
+  if (q.min_m) opts.min_minority_size = *q.min_m;
+  return opts;
+}
+
+void ApplyOrderAndLimit(const Query& q, QueryResult* result) {
+  if (q.order) {
+    const OrderBy order = *q.order;
+    auto key = [&order](const ResultRow& row) -> double {
+      switch (order.key) {
+        case OrderBy::Key::kContextSize:
+          return static_cast<double>(row.t);
+        case OrderBy::Key::kMinoritySize:
+          return static_cast<double>(row.m);
+        case OrderBy::Key::kIndex:
+          break;
+      }
+      return row.indexes[static_cast<size_t>(order.index)];
+    };
+    std::stable_sort(result->rows.begin(), result->rows.end(),
+                     [&](const ResultRow& a, const ResultRow& b) {
+                       // Undefined cells sort last under index keys.
+                       if (order.key == OrderBy::Key::kIndex &&
+                           a.defined != b.defined) {
+                         return a.defined;
+                       }
+                       return order.descending ? key(a) > key(b)
+                                               : key(a) < key(b);
+                     });
+  }
+  if (q.limit && result->rows.size() > *q.limit) {
+    result->rows.resize(*q.limit);
+  }
+}
+
+/// How a query consumes the cube.
+enum class Mode {
+  kScan,    ///< participates in the shared cell scan
+  kDirect,  ///< point lookups / explorer calls, run per query
+};
+
+struct Prepared {
+  const Query* query = nullptr;
+  Status error;       ///< resolution failure, reported at finalise time
+  fpm::Itemset sa;    ///< resolved SA constraint items
+  fpm::Itemset ca;    ///< resolved CA constraint items
+  Mode mode = Mode::kDirect;
+  cube::ExplorerOptions explorer;  ///< analytic-verb filters, precomputed
+  std::vector<const cube::CubeCell*> hits;  ///< shared-scan matches
+};
+
+}  // namespace
+
+Executor::Executor(const cube::SegregationCube& cube) : cube_(cube) {
+  const relational::ItemCatalog& catalog = cube.catalog();
+  item_by_key_.reserve(catalog.size());
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    fpm::ItemId id = static_cast<fpm::ItemId>(i);
+    const relational::ItemInfo& info = catalog.info(id);
+    item_by_key_.emplace(ItemKey(info.attr_name, info.value), id);
+    kind_by_attr_.emplace(info.attr_name, info.kind);
+  }
+}
+
+Result<fpm::Itemset> Executor::ResolveItems(
+    const std::vector<AttrValue>& constraints,
+    relational::AttributeKind kind) const {
+  std::vector<fpm::ItemId> items;
+  items.reserve(constraints.size());
+  for (const AttrValue& av : constraints) {
+    auto it = item_by_key_.find(ItemKey(av.attr, av.value));
+    if (it == item_by_key_.end()) {
+      auto attr = kind_by_attr_.find(av.attr);
+      if (attr == kind_by_attr_.end()) {
+        return Status::NotFound("unknown attribute '" + av.attr + "'");
+      }
+      return Status::NotFound("unknown value '" + av.value +
+                              "' for attribute '" + av.attr + "'");
+    }
+    const relational::ItemInfo& info = cube_.catalog().info(it->second);
+    if (info.kind != kind) {
+      const char* axis =
+          info.kind == relational::AttributeKind::kSegregation ? "sa" : "ca";
+      return Status::InvalidArgument(
+          "attribute '" + av.attr + "' is a " +
+          (info.kind == relational::AttributeKind::kSegregation
+               ? "segregation"
+               : "context") +
+          " attribute; it belongs in " + axis + "=");
+    }
+    items.push_back(it->second);
+  }
+  return fpm::Itemset(std::move(items));
+}
+
+Result<QueryResult> Executor::Execute(const Query& query) const {
+  return std::move(ExecuteBatch({query})[0]);
+}
+
+std::vector<Result<QueryResult>> Executor::ExecuteBatch(
+    const std::vector<Query>& queries) const {
+  // --- prepare: resolve coordinates, classify scan vs direct -------------
+  std::vector<Prepared> prepared(queries.size());
+  bool any_scan = false;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Prepared& p = prepared[i];
+    p.query = &queries[i];
+    auto sa = ResolveItems(queries[i].sa,
+                           relational::AttributeKind::kSegregation);
+    if (!sa.ok()) {
+      p.error = sa.status();
+      continue;
+    }
+    p.sa = std::move(sa).value();
+    auto ca = ResolveItems(queries[i].ca,
+                           relational::AttributeKind::kContext);
+    if (!ca.ok()) {
+      p.error = ca.status();
+      continue;
+    }
+    p.ca = std::move(ca).value();
+    p.explorer = ExplorerOptionsFor(queries[i]);
+
+    switch (queries[i].verb) {
+      case Verb::kDice:
+      case Verb::kTopK:
+        p.mode = Mode::kScan;
+        break;
+      case Verb::kSlice:
+        // Both axes given -> a single-cell point lookup; otherwise the
+        // slice filter runs inside the shared scan.
+        p.mode = (!queries[i].sa.empty() && !queries[i].ca.empty())
+                     ? Mode::kDirect
+                     : Mode::kScan;
+        break;
+      default:
+        p.mode = Mode::kDirect;
+        break;
+    }
+    if (p.mode == Mode::kScan) any_scan = true;
+  }
+
+  // --- one shared pass over the cube for every scan-shaped query ---------
+  size_t scanned = 0;
+  if (any_scan) {
+    std::vector<const cube::CubeCell*> cells = cube_.Cells();
+    scanned = cells.size();
+    for (const cube::CubeCell* cell : cells) {
+      for (Prepared& p : prepared) {
+        if (p.mode != Mode::kScan || !p.error.ok()) continue;
+        const Query& q = *p.query;
+        switch (q.verb) {
+          case Verb::kSlice:
+            if (!q.sa.empty() &&
+                (cell->coords.sa != p.sa || !PassesWhere(*cell, q))) {
+              continue;
+            }
+            if (!q.ca.empty() &&
+                (cell->coords.ca != p.ca || !PassesWhere(*cell, q))) {
+              continue;
+            }
+            break;
+          case Verb::kDice:
+            if (!p.sa.IsSubsetOf(cell->coords.sa) ||
+                !p.ca.IsSubsetOf(cell->coords.ca) || !PassesWhere(*cell, q)) {
+              continue;
+            }
+            break;
+          case Verb::kTopK:
+            if (!cube::PassesExplorerFilters(*cell, p.explorer)) continue;
+            break;
+          default:
+            continue;
+        }
+        p.hits.push_back(cell);
+      }
+    }
+  }
+
+  // --- finalise each query, in input order --------------------------------
+  std::vector<Result<QueryResult>> out;
+  out.reserve(queries.size());
+  for (Prepared& p : prepared) {
+    if (!p.error.ok()) {
+      out.push_back(p.error);
+      continue;
+    }
+    const Query& q = *p.query;
+    QueryResult result;
+    result.verb = q.verb;
+    result.by = q.by;
+
+    switch (q.verb) {
+      case Verb::kSlice:
+        if (p.mode == Mode::kDirect) {
+          const cube::CubeCell* cell = cube_.Find(p.sa, p.ca);
+          if (cell != nullptr && PassesWhere(*cell, q)) {
+            result.rows.push_back(MakeRow(cube_, *cell));
+          }
+          result.cells_scanned = 1;
+        } else {
+          for (const cube::CubeCell* cell : p.hits) {
+            result.rows.push_back(MakeRow(cube_, *cell));
+          }
+          result.cells_scanned = scanned;
+        }
+        break;
+
+      case Verb::kDice:
+        for (const cube::CubeCell* cell : p.hits) {
+          result.rows.push_back(MakeRow(cube_, *cell));
+        }
+        result.cells_scanned = scanned;
+        break;
+
+      case Verb::kTopK: {
+        std::sort(p.hits.begin(), p.hits.end(),
+                  [&q](const cube::CubeCell* a, const cube::CubeCell* b) {
+                    double va = a->Value(q.by), vb = b->Value(q.by);
+                    if (va != vb) return va > vb;
+                    return a->coords < b->coords;
+                  });
+        if (p.hits.size() > q.k) p.hits.resize(q.k);
+        result.has_value = true;
+        for (const cube::CubeCell* cell : p.hits) {
+          ResultRow row = MakeRow(cube_, *cell);
+          row.value = cell->Value(q.by);
+          result.rows.push_back(std::move(row));
+        }
+        result.cells_scanned = scanned;
+        break;
+      }
+
+      case Verb::kRollup: {
+        auto parents =
+            cube_.Parents(cube::CellCoordinates{p.sa, p.ca});
+        for (const cube::CubeCell* cell : parents) {
+          if (PassesWhere(*cell, q)) {
+            result.rows.push_back(MakeRow(cube_, *cell));
+          }
+        }
+        result.cells_scanned = parents.size();
+        break;
+      }
+
+      case Verb::kDrilldown: {
+        auto children =
+            cube_.Children(cube::CellCoordinates{p.sa, p.ca});
+        for (const cube::CubeCell* cell : children) {
+          if (PassesWhere(*cell, q)) {
+            result.rows.push_back(MakeRow(cube_, *cell));
+          }
+        }
+        result.cells_scanned = children.size();
+        break;
+      }
+
+      case Verb::kSurprises: {
+        auto findings =
+            cube::DrillDownSurprises(cube_, q.by, q.threshold, p.explorer);
+        result.has_value = true;
+        result.has_aux = true;
+        result.aux_name = "delta";
+        result.has_aux2 = true;
+        result.aux2_name = "best_parent";
+        for (const cube::SurpriseFinding& f : findings) {
+          ResultRow row = MakeRow(cube_, *f.cell);
+          row.value = f.value;
+          row.aux = f.delta;
+          row.aux2 = f.best_parent_value;
+          result.rows.push_back(std::move(row));
+        }
+        result.cells_scanned = cube_.NumCells();
+        break;
+      }
+
+      case Verb::kReversals: {
+        auto findings = cube::FindGranularityReversals(cube_, q.by,
+                                                       q.threshold, p.explorer);
+        result.has_value = true;
+        result.has_aux = true;
+        result.aux_name = "boundary_child";
+        result.has_aux2 = true;
+        result.aux2_name = "children";
+        result.has_tag = true;
+        result.tag_name = "direction";
+        for (const cube::GranularityReversal& r : findings) {
+          ResultRow row = MakeRow(cube_, *r.parent);
+          row.value = r.parent_value;
+          row.aux = r.min_child_value;
+          row.aux2 = static_cast<double>(r.children.size());
+          row.tag = r.children_higher ? "masked" : "inflated";
+          result.rows.push_back(std::move(row));
+        }
+        result.cells_scanned = cube_.NumCells();
+        break;
+      }
+    }
+
+    ApplyOrderAndLimit(q, &result);
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace scube

@@ -1,0 +1,60 @@
+// SCubeQL executor: lowers a parsed Query onto one immutable cube
+// snapshot. Coordinate constraints (attribute=value) resolve to item ids
+// through the cube's ItemCatalog; navigation verbs map onto
+// SegregationCube lookups, analytic verbs onto the cube explorer.
+//
+// ExecuteBatch shares a single pass over the cube's cells across every
+// scan-shaped query in the batch (SLICE on one axis, DICE, TOPK) — the
+// batched-scan idiom: with B such queries the cube is walked once, not B
+// times. Point lookups (ROLLUP, DRILLDOWN, fully-addressed SLICE) and the
+// explorer verbs (SURPRISES, REVERSALS) run per query.
+
+#ifndef SCUBE_QUERY_EXECUTOR_H_
+#define SCUBE_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "cube/cube.h"
+#include "cube/explorer.h"
+#include "query/ast.h"
+#include "query/query_result.h"
+
+namespace scube {
+namespace query {
+
+/// \brief Executes queries against one cube snapshot.
+///
+/// Construction indexes the catalog (attribute/value -> item id); the
+/// executor itself is immutable and safe to share across threads.
+class Executor {
+ public:
+  explicit Executor(const cube::SegregationCube& cube);
+
+  /// Executes one query.
+  Result<QueryResult> Execute(const Query& query) const;
+
+  /// Executes a batch, sharing one cell scan across scan-shaped queries.
+  /// result[i] answers queries[i].
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<Query>& queries) const;
+
+  /// Resolves attribute=value constraints into an itemset of the given
+  /// kind. NotFound for unknown attributes/values, InvalidArgument when a
+  /// constraint names an attribute of the other kind (e.g. a context
+  /// attribute inside `sa=`).
+  Result<fpm::Itemset> ResolveItems(const std::vector<AttrValue>& constraints,
+                                    relational::AttributeKind kind) const;
+
+ private:
+  const cube::SegregationCube& cube_;
+  std::unordered_map<std::string, fpm::ItemId> item_by_key_;  // attr \x1F value
+  std::unordered_map<std::string, relational::AttributeKind> kind_by_attr_;
+};
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_EXECUTOR_H_

@@ -1,0 +1,133 @@
+#include "query/query_result.h"
+
+#include <cstdio>
+
+namespace scube {
+namespace query {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Escapes a CSV field (quotes when it contains comma/quote/newline).
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string ToCsv(const QueryResult& result) {
+  std::string out = "sa,ca,T,M,units";
+  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+    out += ",";
+    out += indexes::IndexKindToString(kind);
+  }
+  if (result.has_value) out += ",value";
+  if (result.has_aux) out += "," + result.aux_name;
+  if (result.has_aux2) out += "," + result.aux2_name;
+  if (result.has_tag) out += "," + result.tag_name;
+  out += '\n';
+
+  for (const ResultRow& row : result.rows) {
+    out += CsvField(row.sa) + "," + CsvField(row.ca) + "," +
+           std::to_string(row.t) + "," + std::to_string(row.m) + "," +
+           std::to_string(row.units);
+    for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+      out += ",";
+      if (row.defined) {
+        out += FormatDouble(row.indexes[static_cast<size_t>(kind)]);
+      }
+    }
+    if (result.has_value) out += "," + FormatDouble(row.value);
+    if (result.has_aux) out += "," + FormatDouble(row.aux);
+    if (result.has_aux2) out += "," + FormatDouble(row.aux2);
+    if (result.has_tag) out += "," + CsvField(row.tag);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ToJson(const QueryResult& result) {
+  std::string out = "{\"verb\":";
+  out += JsonString(VerbToString(result.verb));
+  out += ",\"by\":";
+  out += JsonString(indexes::IndexKindToString(result.by));
+  out += ",\"cells_scanned\":" + std::to_string(result.cells_scanned);
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    const ResultRow& row = result.rows[i];
+    if (i > 0) out += ',';
+    out += "{\"sa\":" + JsonString(row.sa) + ",\"ca\":" + JsonString(row.ca) +
+           ",\"T\":" + std::to_string(row.t) +
+           ",\"M\":" + std::to_string(row.m) +
+           ",\"units\":" + std::to_string(row.units) + ",\"indexes\":{";
+    bool first = true;
+    for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+      if (!first) out += ',';
+      first = false;
+      out += JsonString(indexes::IndexKindToString(kind));
+      out += ':';
+      out += row.defined
+                 ? FormatDouble(row.indexes[static_cast<size_t>(kind)])
+                 : "null";
+    }
+    out += '}';
+    if (result.has_value) out += ",\"value\":" + FormatDouble(row.value);
+    if (result.has_aux) {
+      out += "," + JsonString(result.aux_name) + ":" + FormatDouble(row.aux);
+    }
+    if (result.has_aux2) {
+      out += "," + JsonString(result.aux2_name) + ":" + FormatDouble(row.aux2);
+    }
+    if (result.has_tag) {
+      out += "," + JsonString(result.tag_name) + ":" + JsonString(row.tag);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace query
+}  // namespace scube

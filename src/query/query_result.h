@@ -1,0 +1,74 @@
+// QueryResult: the self-contained, serialisable answer to one SCubeQL
+// query. Rows copy cell payloads (labels + counts + the six indexes) out of
+// the cube snapshot so results outlive it — they can sit in the LRU cache
+// while newer cube versions are published.
+
+#ifndef SCUBE_QUERY_QUERY_RESULT_H_
+#define SCUBE_QUERY_QUERY_RESULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "indexes/segregation_index.h"
+#include "query/ast.h"
+
+namespace scube {
+namespace query {
+
+/// \brief One result row: a cube cell plus verb-specific extras.
+struct ResultRow {
+  std::string sa;  ///< subgroup label, "*" for the empty itemset
+  std::string ca;  ///< context label, "*" for the empty itemset
+
+  uint64_t t = 0;      ///< context population
+  uint64_t m = 0;      ///< minority population
+  uint32_t units = 0;  ///< organisational units in the context
+
+  /// Whether the six indexes are defined for this cell.
+  bool defined = false;
+  std::array<double, indexes::kNumIndexKinds> indexes{};
+
+  /// Verb-specific columns (meaning recorded in QueryResult):
+  ///   TOPK              value = ranked index value
+  ///   SURPRISES         value = cell value, aux = delta vs best parent
+  ///   REVERSALS         value = parent value, aux = boundary child value,
+  ///                     aux2 = number of children, tag = masked/inflated
+  double value = 0.0;
+  double aux = 0.0;
+  double aux2 = 0.0;
+  std::string tag;
+};
+
+/// \brief A complete query answer.
+struct QueryResult {
+  Verb verb = Verb::kSlice;
+  indexes::IndexKind by = indexes::IndexKind::kDissimilarity;
+
+  /// Which verb-specific columns are populated, and their display names.
+  bool has_value = false;
+  bool has_aux = false;
+  bool has_aux2 = false;
+  bool has_tag = false;
+  std::string aux_name;
+  std::string aux2_name;
+  std::string tag_name;
+
+  std::vector<ResultRow> rows;
+
+  /// Cells scanned to produce the result (shared-scan accounting).
+  uint64_t cells_scanned = 0;
+};
+
+/// CSV rendering: header + one line per row; indexes "" when undefined.
+std::string ToCsv(const QueryResult& result);
+
+/// JSON rendering: {"verb": ..., "by": ..., "rows": [...]}. Stable key
+/// order; undefined index values serialise as null.
+std::string ToJson(const QueryResult& result);
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_QUERY_RESULT_H_

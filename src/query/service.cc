@@ -1,0 +1,210 @@
+#include "query/service.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/timer.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace scube {
+namespace query {
+
+QueryService::QueryService(CubeStore* store, ServiceOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity) {
+  options_.num_workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void QueryService::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void QueryService::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+QueryResponse QueryService::ExecuteOne(const std::string& text) {
+  return std::move(ExecuteBatch({text})[0]);
+}
+
+std::vector<QueryResponse> QueryService::ExecuteBatch(
+    const std::vector<std::string>& texts) {
+  std::vector<QueryResponse> responses(texts.size());
+
+  // --- parse, resolve cube, consult the cache -----------------------------
+  // A miss is one distinct (canonical) query awaiting execution, plus every
+  // response slot it answers: duplicates inside a batch execute once.
+  struct Miss {
+    std::vector<size_t> indices;
+    Query query;
+  };
+  // Misses grouped by cube snapshot identity (name + version).
+  struct Group {
+    CubeStore::Snapshot snapshot;
+    std::vector<Miss> misses;
+    std::unordered_map<std::string, size_t> by_canonical;  // -> misses index
+  };
+  std::map<std::string, Group> groups;  // key: name \x1F version
+
+  for (size_t i = 0; i < texts.size(); ++i) {
+    QueryResponse& resp = responses[i];
+    resp.text = texts[i];
+
+    WallTimer parse_timer;
+    auto parsed = Parse(texts[i]);
+    resp.parse_ms = parse_timer.Millis();
+    if (!parsed.ok()) {
+      resp.status = parsed.status();
+      continue;
+    }
+    Query query = std::move(parsed).value();
+    resp.canonical = Canonical(query);
+    resp.cube = query.cube.empty() ? options_.default_cube : query.cube;
+
+    uint64_t version = 0;
+    CubeStore::Snapshot snapshot = store_->Get(resp.cube, &version);
+    if (snapshot == nullptr) {
+      resp.status =
+          Status::NotFound("no cube published under '" + resp.cube + "'");
+      continue;
+    }
+    resp.cube_version = version;
+
+    if (auto cached =
+            cache_.Get(resp.cube, resp.cube_version, resp.canonical)) {
+      resp.result = std::move(*cached);
+      resp.cache_hit = true;
+      continue;
+    }
+
+    std::string key = resp.cube + '\x1F' + std::to_string(resp.cube_version);
+    Group& group = groups[key];
+    group.snapshot = std::move(snapshot);
+    auto [it, inserted] =
+        group.by_canonical.emplace(resp.canonical, group.misses.size());
+    if (inserted) {
+      group.misses.push_back(Miss{{i}, std::move(query)});
+    } else {
+      group.misses[it->second].indices.push_back(i);
+    }
+  }
+
+  if (groups.empty()) return responses;
+
+  // --- fan the misses out to the worker pool ------------------------------
+  // Each chunk shares one cube scan; chunks across (and within) groups run
+  // concurrently. With G groups and W workers, each group gets ~W/G chunks.
+  struct Chunk {
+    const Group* group;
+    std::vector<Miss> misses;
+    std::vector<QueryResponse>* responses;
+    ResultCache* cache;
+    std::string cube_name;
+    uint64_t cube_version;
+  };
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  size_t chunks_per_group =
+      std::max<size_t>(1, options_.num_workers / groups.size());
+  for (auto& [key, group] : groups) {
+    size_t n = group.misses.size();
+    size_t num_chunks = std::min(n, chunks_per_group);
+    size_t base = n / num_chunks, extra = n % num_chunks;
+    size_t next = 0;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t take = base + (c < extra ? 1 : 0);
+      auto chunk = std::make_unique<Chunk>();
+      chunk->group = &group;
+      chunk->responses = &responses;
+      chunk->cache = &cache_;
+      const Miss& first = group.misses[next];
+      chunk->cube_name = responses[first.indices[0]].cube;
+      chunk->cube_version = responses[first.indices[0]].cube_version;
+      chunk->misses.assign(
+          std::make_move_iterator(group.misses.begin() + next),
+          std::make_move_iterator(group.misses.begin() + next + take));
+      next += take;
+      chunks.push_back(std::move(chunk));
+    }
+  }
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = chunks.size();
+
+  for (auto& chunk_ptr : chunks) {
+    Chunk* chunk = chunk_ptr.get();
+    Submit([chunk, &done_mu, &done_cv, &remaining] {
+      WallTimer timer;
+      Executor executor(*chunk->group->snapshot);
+      std::vector<Query> queries;
+      queries.reserve(chunk->misses.size());
+      for (const Miss& miss : chunk->misses) queries.push_back(miss.query);
+      auto results = executor.ExecuteBatch(queries);
+      double elapsed = timer.Millis();
+
+      for (size_t i = 0; i < chunk->misses.size(); ++i) {
+        bool cached = false;
+        for (size_t slot : chunk->misses[i].indices) {
+          QueryResponse& resp = (*chunk->responses)[slot];
+          resp.exec_ms = elapsed;
+          resp.shared_batch = static_cast<uint32_t>(chunk->misses.size());
+          if (!results[i].ok()) {
+            resp.status = results[i].status();
+            continue;
+          }
+          resp.result = results[i].value();
+          if (!cached) {
+            chunk->cache->Put(chunk->cube_name, chunk->cube_version,
+                              resp.canonical, resp.result);
+            cached = true;
+          }
+        }
+      }
+      {
+        // Notify while holding the lock: the batch thread cannot observe
+        // remaining == 0 (and destroy done_cv) before this worker is done
+        // touching it.
+        std::lock_guard<std::mutex> lock(done_mu);
+        --remaining;
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  return responses;
+}
+
+}  // namespace query
+}  // namespace scube

@@ -1,0 +1,99 @@
+// QueryService: the concurrent SCubeQL serving layer.
+//
+// One service owns a fixed pool of worker threads and an LRU result
+// cache in front of a CubeStore. A batch of textual queries is parsed,
+// answered from the cache where possible, and the misses are grouped by
+// cube snapshot and fanned out to the workers, each worker chunk sharing
+// one cube scan (Executor::ExecuteBatch). Publishing new cubes proceeds
+// concurrently: in-flight queries keep their snapshot.
+
+#ifndef SCUBE_QUERY_SERVICE_H_
+#define SCUBE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/cube_store.h"
+#include "query/query_result.h"
+
+namespace scube {
+namespace query {
+
+/// \brief Service tuning knobs.
+struct ServiceOptions {
+  /// Worker threads answering queries (clamped to >= 1).
+  size_t num_workers = 4;
+
+  /// Result-cache entries across all cubes (0 disables caching).
+  size_t cache_capacity = 256;
+
+  /// Cube name used when a query has no FROM clause.
+  std::string default_cube = "default";
+};
+
+/// \brief The answer to one query text.
+struct QueryResponse {
+  std::string text;       ///< the query as submitted
+  std::string canonical;  ///< normalised form (empty on parse errors)
+  std::string cube;       ///< resolved cube name
+  uint64_t cube_version = 0;
+
+  Status status;       ///< parse / resolution / execution outcome
+  QueryResult result;  ///< valid iff status.ok()
+
+  bool cache_hit = false;
+  double parse_ms = 0.0;
+  /// Execution wall time. Queries answered inside a shared-scan chunk
+  /// report the chunk's time (`shared_batch` tells how many queries
+  /// amortised that scan); cache hits report ~0.
+  double exec_ms = 0.0;
+  uint32_t shared_batch = 1;
+};
+
+/// \brief Concurrent query server over a CubeStore. Thread-safe.
+class QueryService {
+ public:
+  explicit QueryService(CubeStore* store, ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Parses and executes one query.
+  QueryResponse ExecuteOne(const std::string& text);
+
+  /// Parses and executes a batch; responses[i] answers texts[i].
+  std::vector<QueryResponse> ExecuteBatch(
+      const std::vector<std::string>& texts);
+
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+  void ClearCache() { cache_.Clear(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  CubeStore* store_;
+  ServiceOptions options_;
+  ResultCache cache_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_SERVICE_H_

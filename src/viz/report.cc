@@ -129,5 +129,59 @@ std::string RenderCellSummary(const cube::SegregationCube& cube,
   return out;
 }
 
+std::string RenderQueryResult(const query::QueryResult& result) {
+  if (result.rows.empty()) return "(no cells)\n";
+
+  // Column set: fixed cell columns, the queried index, then whichever
+  // verb-specific columns the result carries.
+  std::vector<std::string> headers{"sa", "ca", "T", "M",
+                                   "units",
+                                   indexes::IndexKindToString(result.by)};
+  if (result.has_value) headers.push_back("value");
+  if (result.has_aux) headers.push_back(result.aux_name);
+  if (result.has_aux2) headers.push_back(result.aux2_name);
+  if (result.has_tag) headers.push_back(result.tag_name);
+
+  std::vector<std::vector<std::string>> grid;
+  grid.reserve(result.rows.size());
+  for (const query::ResultRow& row : result.rows) {
+    std::vector<std::string> line{
+        row.sa,
+        row.ca,
+        std::to_string(row.t),
+        std::to_string(row.m),
+        std::to_string(row.units),
+        row.defined
+            ? FormatDouble(row.indexes[static_cast<size_t>(result.by)], 4)
+            : "-",
+    };
+    if (result.has_value) line.push_back(FormatDouble(row.value, 4));
+    if (result.has_aux) line.push_back(FormatDouble(row.aux, 4));
+    if (result.has_aux2) line.push_back(FormatDouble(row.aux2, 4));
+    if (result.has_tag) line.push_back(row.tag);
+    grid.push_back(std::move(line));
+  }
+
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+    for (const auto& line : grid) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+    widths[c] += 2;
+  }
+
+  std::string out;
+  for (size_t c = 0; c < headers.size(); ++c) {
+    out += Pad(headers[c], widths[c]);
+  }
+  out += "\n";
+  for (const auto& line : grid) {
+    for (size_t c = 0; c < line.size(); ++c) out += Pad(line[c], widths[c]);
+    out += "\n";
+  }
+  return out;
+}
+
 }  // namespace viz
 }  // namespace scube

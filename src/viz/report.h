@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "cube/cube.h"
 #include "cube/explorer.h"
+#include "query/query_result.h"
 
 namespace scube {
 namespace viz {
@@ -38,6 +39,12 @@ std::string RenderTopContexts(const cube::SegregationCube& cube,
 /// Renders the six indexes of one cell as "name value" lines.
 std::string RenderCellSummary(const cube::SegregationCube& cube,
                               const cube::CubeCell& cell);
+
+/// Renders a SCubeQL answer as a fixed-width text table: subgroup,
+/// context, T, M, units, the queried index ("-" when undefined) and any
+/// verb-specific columns (value / delta / direction ...). The REPL's
+/// output format.
+std::string RenderQueryResult(const query::QueryResult& result);
 
 }  // namespace viz
 }  // namespace scube

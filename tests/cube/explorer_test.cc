@@ -142,6 +142,41 @@ TEST(ExplorerTest, NoReversalWhenGapTooLarge) {
   EXPECT_TRUE(reversals.empty());
 }
 
+TEST(ExplorerTest, PureContextCellsNeverServeAsSurpriseBaselines) {
+  // Hand-built cube: the pure-context root is (unrealistically) flagged
+  // defined. With require_nonempty_sa it must not serve as the roll-up
+  // baseline for (sa={1} | ⋆) — pure-context cells carry no segregation
+  // reading, so the cell has no usable parent and is not a surprise.
+  auto make_cell = [](std::vector<fpm::ItemId> sa, std::vector<fpm::ItemId> ca,
+                      uint64_t t, uint64_t m, double d) {
+    CubeCell cell;
+    cell.coords = CellCoordinates{fpm::Itemset(std::move(sa)),
+                                  fpm::Itemset(std::move(ca))};
+    cell.context_size = t;
+    cell.minority_size = m;
+    cell.num_units = 2;
+    cell.indexes.defined = true;
+    cell.indexes.values[static_cast<size_t>(
+        indexes::IndexKind::kDissimilarity)] = d;
+    return cell;
+  };
+  SegregationCube cube;
+  cube.Insert(make_cell({}, {}, 100, 40, 0.0));  // corrupt defined root
+  cube.Insert(make_cell({1}, {}, 100, 40, 0.4));
+
+  auto surprises = DrillDownSurprises(
+      cube, indexes::IndexKind::kDissimilarity, 0.1, LooseFilters());
+  EXPECT_TRUE(surprises.empty());
+
+  // Without the subgroup requirement the root is a legitimate baseline.
+  ExplorerOptions allow_pure = LooseFilters();
+  allow_pure.require_nonempty_sa = false;
+  surprises = DrillDownSurprises(cube, indexes::IndexKind::kDissimilarity,
+                                 0.1, allow_pure);
+  ASSERT_EQ(surprises.size(), 1u);
+  EXPECT_NEAR(surprises[0].delta, 0.4, 1e-9);
+}
+
 TEST(ExplorerTest, TopKTruncates) {
   SegregationCube cube = BuildFixture();
   auto top1 = TopSegregatedContexts(cube, indexes::IndexKind::kDissimilarity,

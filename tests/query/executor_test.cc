@@ -1,0 +1,246 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/query_result.h"
+
+namespace scube {
+namespace query {
+namespace {
+
+// Hand-built fixture (the MakeCell pattern of cube_test): items
+//   sex=F (SA, id 0), age=young (SA, id 1),
+//   region=north (CA, id 2), region=south (CA, id 3).
+cube::CubeCell MakeCell(std::vector<fpm::ItemId> sa,
+                        std::vector<fpm::ItemId> ca, uint64_t t, uint64_t m,
+                        double dissimilarity, bool defined = true) {
+  cube::CubeCell cell;
+  cell.coords = cube::CellCoordinates{fpm::Itemset(std::move(sa)),
+                                      fpm::Itemset(std::move(ca))};
+  cell.context_size = t;
+  cell.minority_size = m;
+  cell.num_units = 2;
+  cell.indexes.defined = defined;
+  cell.indexes.values[static_cast<size_t>(
+      indexes::IndexKind::kDissimilarity)] = dissimilarity;
+  return cell;
+}
+
+cube::SegregationCube MakeCube() {
+  relational::ItemCatalog catalog;
+  using relational::AttributeKind;
+  catalog.GetOrAdd(0, "sex", "F", AttributeKind::kSegregation);      // id 0
+  catalog.GetOrAdd(1, "age", "young", AttributeKind::kSegregation);  // id 1
+  catalog.GetOrAdd(2, "region", "north", AttributeKind::kContext);   // id 2
+  catalog.GetOrAdd(3, "region", "south", AttributeKind::kContext);   // id 3
+
+  cube::SegregationCube cube(std::move(catalog), {"u0", "u1"});
+  cube.Insert(MakeCell({}, {}, 100, 0, 0.0, /*defined=*/false));  // root
+  cube.Insert(MakeCell({0}, {}, 100, 40, 0.10));       // F | *
+  cube.Insert(MakeCell({1}, {}, 100, 30, 0.05));       // young | *
+  cube.Insert(MakeCell({0, 1}, {}, 100, 12, 0.30));    // F & young | *
+  cube.Insert(MakeCell({}, {2}, 60, 0, 0.0, false));   // * | north
+  cube.Insert(MakeCell({0}, {2}, 60, 25, 0.50));       // F | north
+  cube.Insert(MakeCell({0}, {3}, 40, 15, 0.20));       // F | south
+  cube.Insert(MakeCell({1}, {2}, 60, 18, 0.15));       // young | north
+  cube.Insert(MakeCell({0, 1}, {2}, 60, 8, 0.70));     // F & young | north
+  return cube;
+}
+
+QueryResult MustExecute(const Executor& executor, const std::string& text) {
+  auto query = Parse(text);
+  EXPECT_TRUE(query.ok()) << text << " -> " << query.status();
+  auto result = executor.Execute(*query);
+  EXPECT_TRUE(result.ok()) << text << " -> " << result.status();
+  return result.ok() ? std::move(result).value() : QueryResult{};
+}
+
+TEST(ExecutorTest, SliceOneAxisMatchesExactCoordinates) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r = MustExecute(executor, "SLICE sa=sex=F");
+  ASSERT_EQ(r.rows.size(), 3u);  // F|*, F|north, F|south in coord order
+  EXPECT_EQ(r.rows[0].sa, "sex=F");
+  EXPECT_EQ(r.rows[0].ca, "*");
+  EXPECT_EQ(r.rows[1].ca, "region=north");
+  EXPECT_EQ(r.rows[2].ca, "region=south");
+}
+
+TEST(ExecutorTest, SliceBothAxesIsPointLookup) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r =
+      MustExecute(executor, "SLICE sa=sex=F | ca=region=north");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].t, 60u);
+  EXPECT_EQ(r.rows[0].m, 25u);
+  EXPECT_EQ(r.cells_scanned, 1u);  // no scan for a fully addressed cell
+
+  QueryResult missing =
+      MustExecute(executor, "SLICE sa=age=young | ca=region=south");
+  EXPECT_TRUE(missing.rows.empty());
+}
+
+TEST(ExecutorTest, DiceSelectsSubcube) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r = MustExecute(executor, "DICE sa=sex=F");
+  // Every cell whose SA contains sex=F: F|*, F|north, F|south,
+  // F&young|*, F&young|north.
+  EXPECT_EQ(r.rows.size(), 5u);
+
+  QueryResult filtered =
+      MustExecute(executor, "DICE sa=sex=F WHERE T >= 50 AND M >= 20");
+  ASSERT_EQ(filtered.rows.size(), 2u);  // F|* (100/40), F|north (60/25)
+}
+
+TEST(ExecutorTest, RollupReturnsParents) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r =
+      MustExecute(executor, "ROLLUP sa=sex=F & age=young | ca=region=north");
+  // Parents of (F & young | north): (young|north), (F|north), (F&young|*).
+  ASSERT_EQ(r.rows.size(), 3u);
+}
+
+TEST(ExecutorTest, DrilldownReturnsChildrenAndRootWorks) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r = MustExecute(executor, "DRILLDOWN sa=sex=F");
+  // Children of (F|*): (F&young|*), (F|north), (F|south).
+  ASSERT_EQ(r.rows.size(), 3u);
+
+  QueryResult root = MustExecute(executor, "DRILLDOWN");
+  // Children of the root: (F|*), (young|*), (*|north).
+  EXPECT_EQ(root.rows.size(), 3u);
+}
+
+TEST(ExecutorTest, TopKRanksAndTruncates) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r = MustExecute(
+      executor, "TOPK 3 BY dissimilarity WHERE T >= 1 AND M >= 1");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_TRUE(r.has_value);
+  EXPECT_DOUBLE_EQ(r.rows[0].value, 0.70);  // F & young | north
+  EXPECT_DOUBLE_EQ(r.rows[1].value, 0.50);  // F | north
+  EXPECT_DOUBLE_EQ(r.rows[2].value, 0.30);  // F & young | *
+  // Undefined and pure-context cells never rank.
+  for (const ResultRow& row : r.rows) {
+    EXPECT_TRUE(row.defined);
+    EXPECT_NE(row.sa, "*");
+  }
+}
+
+TEST(ExecutorTest, TopKDefaultsToExplorerFloors) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  // Without WHERE, the explorer defaults (T >= 30, M >= 5) apply; every
+  // fixture cell passes T, and only M >= 5 cells rank.
+  QueryResult r = MustExecute(executor, "TOPK 10 BY dissimilarity");
+  EXPECT_EQ(r.rows.size(), 7u);
+}
+
+TEST(ExecutorTest, OrderByAndLimit) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r =
+      MustExecute(executor, "DICE sa=sex=F ORDER BY T ASC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_LE(r.rows[0].t, r.rows[1].t);
+  EXPECT_EQ(r.rows[0].t, 40u);  // F | south
+}
+
+TEST(ExecutorTest, SurprisesComputeDeltaAgainstBestParent) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r = MustExecute(
+      executor,
+      "SURPRISES BY dissimilarity MINDELTA 0.15 WHERE T >= 1 AND M >= 1");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.aux_name, "delta");
+  // F|north: 0.5 vs best parent F|* (0.1) -> delta 0.4 (the * | north
+  // parent is undefined and must not participate).
+  EXPECT_EQ(r.rows[0].ca, "region=north");
+  EXPECT_DOUBLE_EQ(r.rows[0].aux, 0.4);
+  EXPECT_DOUBLE_EQ(r.rows[1].aux, 0.2);
+  EXPECT_DOUBLE_EQ(r.rows[2].aux, 0.2);
+}
+
+TEST(ExecutorTest, ResolutionErrors) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+
+  auto unknown_attr = executor.Execute(*Parse("SLICE sa=hair=red"));
+  ASSERT_FALSE(unknown_attr.ok());
+  EXPECT_EQ(unknown_attr.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown_attr.status().message().find("unknown attribute"),
+            std::string::npos);
+
+  auto unknown_value = executor.Execute(*Parse("SLICE sa=sex=X"));
+  ASSERT_FALSE(unknown_value.ok());
+  EXPECT_NE(unknown_value.status().message().find("unknown value 'X'"),
+            std::string::npos);
+
+  auto wrong_axis = executor.Execute(*Parse("SLICE sa=region=north"));
+  ASSERT_FALSE(wrong_axis.ok());
+  EXPECT_EQ(wrong_axis.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(wrong_axis.status().message().find("context attribute"),
+            std::string::npos);
+}
+
+TEST(ExecutorTest, BatchSharedScanMatchesIndividualExecution) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  const char* texts[] = {
+      "SLICE sa=sex=F",
+      "DICE sa=sex=F WHERE M >= 20",
+      "TOPK 3 BY dissimilarity WHERE T >= 1 AND M >= 1",
+      "DRILLDOWN sa=sex=F",
+      "SLICE sa=sex=X",  // resolution error must stay positional
+      "SURPRISES BY dissimilarity MINDELTA 0.15 WHERE T >= 1 AND M >= 1",
+  };
+  std::vector<Query> queries;
+  std::vector<Result<QueryResult>> individual;
+  for (const char* text : texts) {
+    auto q = Parse(text);
+    ASSERT_TRUE(q.ok()) << text;
+    individual.push_back(executor.Execute(*q));
+    queries.push_back(std::move(*q));
+  }
+  auto batched = executor.ExecuteBatch(queries);
+  ASSERT_EQ(batched.size(), individual.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_EQ(batched[i].ok(), individual[i].ok()) << texts[i];
+    if (batched[i].ok()) {
+      EXPECT_EQ(ToJson(*batched[i]), ToJson(*individual[i])) << texts[i];
+    } else {
+      EXPECT_EQ(batched[i].status(), individual[i].status()) << texts[i];
+    }
+  }
+}
+
+TEST(ExecutorTest, SerialisationShapes) {
+  cube::SegregationCube cube = MakeCube();
+  Executor executor(cube);
+  QueryResult r = MustExecute(
+      executor, "TOPK 2 BY dissimilarity WHERE T >= 1 AND M >= 1");
+
+  std::string csv = ToCsv(r);
+  EXPECT_NE(csv.find("sa,ca,T,M,units,dissimilarity"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+
+  std::string json = ToJson(r);
+  EXPECT_NE(json.find("\"verb\":\"TOPK\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":0.7"), std::string::npos);
+
+  // Undefined cells serialise as null (the ⋆ | north cell).
+  QueryResult north = MustExecute(executor, "SLICE ca=region=north");
+  ASSERT_EQ(north.rows.size(), 4u);  // ⋆, F, young, F&young | north
+  EXPECT_NE(ToJson(north).find("null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace scube

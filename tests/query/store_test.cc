@@ -1,0 +1,133 @@
+#include "query/cube_store.h"
+
+#include <gtest/gtest.h>
+
+namespace scube {
+namespace query {
+namespace {
+
+cube::SegregationCube CubeWithCells(size_t n) {
+  cube::SegregationCube cube;
+  for (size_t i = 0; i < n; ++i) {
+    cube::CubeCell cell;
+    cell.coords = cube::CellCoordinates{
+        fpm::Itemset({static_cast<fpm::ItemId>(i)}), fpm::Itemset()};
+    cell.context_size = 10;
+    cell.minority_size = 2;
+    cube.Insert(std::move(cell));
+  }
+  return cube;
+}
+
+TEST(CubeStoreTest, PublishGetVersion) {
+  CubeStore store;
+  EXPECT_EQ(store.Get("italy"), nullptr);
+  EXPECT_EQ(store.Version("italy"), 0u);
+
+  EXPECT_EQ(store.Publish("italy", CubeWithCells(3)), 1u);
+  EXPECT_EQ(store.Publish("estonia", CubeWithCells(5)), 1u);
+  EXPECT_EQ(store.Publish("italy", CubeWithCells(4)), 2u);
+
+  uint64_t version = 0;
+  auto italy = store.Get("italy", &version);
+  ASSERT_NE(italy, nullptr);
+  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(italy->NumCells(), 4u);
+  EXPECT_EQ(store.Names(), (std::vector<std::string>{"estonia", "italy"}));
+}
+
+TEST(CubeStoreTest, SnapshotsSurvivePublishes) {
+  CubeStore store;
+  store.Publish("c", CubeWithCells(3));
+  CubeStore::Snapshot old_snapshot = store.Get("c");
+  ASSERT_NE(old_snapshot, nullptr);
+
+  // A new publish must not disturb readers holding the old snapshot.
+  store.Publish("c", CubeWithCells(8));
+  EXPECT_EQ(old_snapshot->NumCells(), 3u);
+  EXPECT_EQ(store.Get("c")->NumCells(), 8u);
+  EXPECT_EQ(store.Version("c"), 2u);
+}
+
+TEST(CubeStoreTest, PublishPipelineResultMovesCubeIn) {
+  CubeStore store;
+  pipeline::PipelineResult result;
+  result.cube = CubeWithCells(6);
+  EXPECT_EQ(PublishPipelineResult(&store, "run", std::move(result)), 1u);
+  ASSERT_NE(store.Get("run"), nullptr);
+  EXPECT_EQ(store.Get("run")->NumCells(), 6u);
+}
+
+QueryResult ResultWithRows(size_t n) {
+  QueryResult result;
+  result.rows.resize(n);
+  return result;
+}
+
+TEST(ResultCacheTest, HitMissAndVersionKeying) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Get("c", 1, "TOPK 5 BY gini").has_value());
+  cache.Put("c", 1, "TOPK 5 BY gini", ResultWithRows(2));
+
+  auto hit = cache.Get("c", 1, "TOPK 5 BY gini");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rows.size(), 2u);
+
+  // A new cube version or another cube never serves the stale entry.
+  EXPECT_FALSE(cache.Get("c", 2, "TOPK 5 BY gini").has_value());
+  EXPECT_FALSE(cache.Get("d", 1, "TOPK 5 BY gini").has_value());
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST(ResultCacheTest, LruEviction) {
+  ResultCache cache(2);
+  cache.Put("c", 1, "a", ResultWithRows(1));
+  cache.Put("c", 1, "b", ResultWithRows(2));
+
+  // Touch "a" so "b" becomes the least recently used entry.
+  EXPECT_TRUE(cache.Get("c", 1, "a").has_value());
+  cache.Put("c", 1, "x", ResultWithRows(3));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Get("c", 1, "a").has_value());
+  EXPECT_FALSE(cache.Get("c", 1, "b").has_value());  // evicted
+  EXPECT_TRUE(cache.Get("c", 1, "x").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingEntry) {
+  ResultCache cache(2);
+  cache.Put("c", 1, "a", ResultWithRows(1));
+  cache.Put("c", 1, "b", ResultWithRows(2));
+  // Re-putting "a" refreshes both payload and recency; inserting a third
+  // entry then evicts "b".
+  cache.Put("c", 1, "a", ResultWithRows(9));
+  cache.Put("c", 1, "x", ResultWithRows(3));
+
+  auto a = cache.Get("c", 1, "a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->rows.size(), 9u);
+  EXPECT_FALSE(cache.Get("c", 1, "b").has_value());
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Put("c", 1, "a", ResultWithRows(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("c", 1, "a").has_value());
+}
+
+TEST(ResultCacheTest, ClearEmptiesEntries) {
+  ResultCache cache(4);
+  cache.Put("c", 1, "a", ResultWithRows(1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("c", 1, "a").has_value());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace scube
