@@ -47,12 +47,13 @@ bool RunCountry(const datagen::ScenarioConfig& gen_config, graph::Date date,
   cube::ExplorerOptions explore;
   explore.min_context_size = 100;
   explore.min_minority_size = 10;
+  cube::CubeView view = std::move(result->cube).Seal();
   auto top = cube::TopSegregatedContexts(
-      result->cube, indexes::IndexKind::kDissimilarity, 3, explore);
+      view, indexes::IndexKind::kDissimilarity, 3, explore);
   for (const auto& rc : top) {
     out->top_contexts += "    D=" +
                          std::to_string(rc.value).substr(0, 5) + "  " +
-                         result->cube.LabelOf(rc.cell->coords) + "\n";
+                         view.LabelOf(rc.cell->coords) + "\n";
   }
   return true;
 }

@@ -64,7 +64,7 @@ int main() {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  const cube::SegregationCube& cube = built.value();
+  cube::CubeView cube = std::move(built).value().Seal();
 
   std::printf("FIG1: segregation data cube with dissimilarity index\n");
   std::printf("population=%zu units=6 job types; cells=%zu (defined %zu); "

@@ -30,7 +30,7 @@ int main() {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
-  const cube::SegregationCube& cube = result->cube;
+  cube::CubeView cube = std::move(result->cube).Seal();
 
   std::printf("FIG5-TOP: multidimensional segregation cube -> scube.xlsx\n");
   std::printf("cells=%zu defined=%zu units=%u\n\n", cube.NumCells(),
@@ -39,15 +39,15 @@ int main() {
   std::printf("%-42s %-30s %8s %8s %8s %8s\n", "subgroup", "context", "T",
               "M", "D", "Gini");
   size_t shown = 0;
-  for (const cube::CubeCell* cell : cube.Cells()) {
-    if (!cell->indexes.defined) continue;
+  for (const cube::CubeCell& cell : cube.Cells()) {
+    if (!cell.indexes.defined) continue;
     std::printf("%-42s %-30s %8llu %8llu %8.3f %8.3f\n",
-                cube.catalog().LabelSet(cell->coords.sa).substr(0, 41).c_str(),
-                cube.catalog().LabelSet(cell->coords.ca).substr(0, 29).c_str(),
-                static_cast<unsigned long long>(cell->context_size),
-                static_cast<unsigned long long>(cell->minority_size),
-                cell->Value(indexes::IndexKind::kDissimilarity),
-                cell->Value(indexes::IndexKind::kGini));
+                cube.catalog().LabelSet(cell.coords.sa).substr(0, 41).c_str(),
+                cube.catalog().LabelSet(cell.coords.ca).substr(0, 29).c_str(),
+                static_cast<unsigned long long>(cell.context_size),
+                static_cast<unsigned long long>(cell.minority_size),
+                cell.Value(indexes::IndexKind::kDissimilarity),
+                cell.Value(indexes::IndexKind::kGini));
     if (++shown >= 12) break;
   }
 

@@ -91,11 +91,12 @@ int main(int argc, char** argv) {
     cube::ExplorerOptions explore;
     explore.min_context_size = 50;
     explore.min_minority_size = 10;
+    cube::CubeView view = std::move(result->cube).Seal();
     auto top = cube::TopSegregatedContexts(
-        result->cube, indexes::IndexKind::kDissimilarity, 5, explore);
+        view, indexes::IndexKind::kDissimilarity, 5, explore);
     for (const auto& rc : top) {
       std::printf("  D=%.3f  %s (T=%llu, M=%llu)\n", rc.value,
-                  result->cube.LabelOf(rc.cell->coords).c_str(),
+                  view.LabelOf(rc.cell->coords).c_str(),
                   static_cast<unsigned long long>(rc.cell->context_size),
                   static_cast<unsigned long long>(rc.cell->minority_size));
     }

@@ -65,31 +65,34 @@ int main(int argc, char** argv) {
     std::printf("  stage %-16s %.3fs\n", stage.c_str(), secs);
   }
 
-  // 3. Discovery: where are women most segregated?
+  // 3. Seal the built cube; all exploration and export reads the view.
+  cube::CubeView view = std::move(result->cube).Seal();
+
+  // Discovery: where are women most segregated?
   cube::ExplorerOptions explore;
   explore.min_context_size = 100;
   explore.min_minority_size = 10;
   std::printf("\ntop contexts by dissimilarity:\n%s\n",
-              viz::RenderTopContexts(result->cube,
+              viz::RenderTopContexts(view,
                                      indexes::IndexKind::kDissimilarity, 8,
                                      explore)
                   .c_str());
 
   // 4. Drill-down surprises (contexts invisible at coarser granularity).
   auto surprises = cube::DrillDownSurprises(
-      result->cube, indexes::IndexKind::kDissimilarity, 0.08, explore);
+      view, indexes::IndexKind::kDissimilarity, 0.08, explore);
   std::printf("drill-down surprises (delta >= 0.08): %zu\n",
               surprises.size());
   for (size_t i = 0; i < surprises.size() && i < 3; ++i) {
     std::printf("  %.3f (parent %.3f): %s\n", surprises[i].value,
                 surprises[i].best_parent_value,
-                result->cube.LabelOf(surprises[i].cell->coords).c_str());
+                view.LabelOf(surprises[i].cell->coords).c_str());
   }
 
   // 5. Artifacts: the OOXML workbook and the cube CSV.
-  Status saved = viz::WriteCubeXlsx(result->cube, "scube.xlsx");
+  Status saved = viz::WriteCubeXlsx(view, "scube.xlsx");
   std::printf("\nscube.xlsx: %s\n", saved.ok() ? "written" : "FAILED");
-  Status csv = WriteStringToFile("cube.csv", result->cube.ToCsv());
+  Status csv = WriteStringToFile("cube.csv", view.ToCsv());
   std::printf("cube.csv:   %s\n", csv.ok() ? "written" : "FAILED");
   return 0;
 }

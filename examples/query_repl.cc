@@ -41,7 +41,8 @@ constexpr const char* kHelp =
     "  TOPK <k> BY <index>            most segregated contexts\n"
     "  SURPRISES [BY <index>] [MINDELTA <d>]\n"
     "  REVERSALS [BY <index>] [MINGAP <g>]\n"
-    "clauses: FROM <cube>  WHERE T >= n AND M >= n  ORDER BY <key> [ASC|DESC]"
+    "clauses: FROM <cube>[@version]  WHERE T >= n AND M >= n  "
+    "ORDER BY <key> [ASC|DESC]"
     "  LIMIT <n>\n"
     "indexes: dissimilarity gini information isolation interaction atkinson\n"
     "commands: .help .cubes .stats .csv <query> .json <query> .quit\n";
@@ -116,6 +117,8 @@ int RunDemo(query::QueryService* service) {
       "SLICE sa=gender=F | ca=residence_region=north",
       "REVERSALS MINGAP 0.05 LIMIT 5",
       "TOPK 3 BY gini FROM sectors",
+      // Exact sealed-version pin: the store keeps the last K versions.
+      "TOPK 3 BY gini FROM sectors@1",
       // Repeat of the first query: answered from the LRU cache.
       "TOPK 5 BY dissimilarity WHERE T >= 30",
   };
@@ -186,9 +189,13 @@ int main(int argc, char** argv) {
       for (const std::string& name : store.Names()) {
         uint64_t version = 0;
         auto cube = store.Get(name, &version);
-        std::printf("  %s v%llu: %zu cells\n", name.c_str(),
+        std::string retained;
+        for (uint64_t v : store.RetainedVersions(name)) {
+          retained += (retained.empty() ? "" : ",") + std::to_string(v);
+        }
+        std::printf("  %s v%llu: %zu cells (retained: %s)\n", name.c_str(),
                     static_cast<unsigned long long>(version),
-                    cube ? cube->NumCells() : 0);
+                    cube ? cube->NumCells() : 0, retained.c_str());
       }
       continue;
     }

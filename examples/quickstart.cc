@@ -76,7 +76,9 @@ int main() {
                  built.status().ToString().c_str());
     return 1;
   }
-  const cube::SegregationCube& cube = built.value();
+  // Seal the build into an immutable, indexed view; everything below —
+  // pivots, top-k, drill-down — reads the view.
+  cube::CubeView cube = std::move(built).value().Seal();
   std::printf("cube: %zu cells (%zu defined)\n\n", cube.NumCells(),
               cube.NumDefinedCells());
 

@@ -152,17 +152,18 @@ int main(int argc, char** argv) {
               result->cube.NumCells(), result->cube.NumDefinedCells(),
               result->clustering.num_clusters);
 
+  cube::CubeView view = std::move(result->cube).Seal();
   cube::ExplorerOptions explore;
   explore.min_context_size = 2;
   explore.min_minority_size = 1;
   std::printf("%s\n",
-              viz::RenderTopContexts(result->cube,
+              viz::RenderTopContexts(view,
                                      indexes::IndexKind::kDissimilarity, 8,
                                      explore)
                   .c_str());
 
-  Status xlsx = viz::WriteCubeXlsx(result->cube, "scube.xlsx");
-  Status csv = WriteStringToFile("cube.csv", result->cube.ToCsv());
+  Status xlsx = viz::WriteCubeXlsx(view, "scube.xlsx");
+  Status csv = WriteStringToFile("cube.csv", view.ToCsv());
   std::printf("scube.xlsx: %s\ncube.csv: %s\n",
               xlsx.ok() ? "written" : xlsx.ToString().c_str(),
               csv.ok() ? "written" : csv.ToString().c_str());

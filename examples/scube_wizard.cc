@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
   std::printf("  cube: %zu cells (%zu defined) over %u units\n",
               result->cube.NumCells(), result->cube.NumDefinedCells(),
               result->clustering.num_clusters);
+  cube::CubeView view = std::move(result->cube).Seal();
 
   // Step 6: explore + export.
   std::string index_name =
@@ -135,14 +136,14 @@ int main(int argc, char** argv) {
   explore.min_minority_size = 10;
   std::printf("\n%s\n",
               viz::RenderTopContexts(
-                  result->cube,
+                  view,
                   kind.ok() ? kind.value()
                             : indexes::IndexKind::kDissimilarity,
                   8, explore)
                   .c_str());
 
   std::string out = Ask("Output workbook", "scube.xlsx");
-  Status saved = viz::WriteCubeXlsx(result->cube, out);
+  Status saved = viz::WriteCubeXlsx(view, out);
   if (!saved.ok()) {
     std::fprintf(stderr, "export failed: %s\n",
                  saved.ToString().c_str());

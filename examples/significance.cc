@@ -38,8 +38,9 @@ int main() {
   cube::ExplorerOptions explore;
   explore.min_context_size = 20;
   explore.min_minority_size = 3;
+  cube::CubeView view = std::move(result->cube).Seal();
   auto top = cube::TopSegregatedContexts(
-      result->cube, indexes::IndexKind::kDissimilarity, 12, explore);
+      view, indexes::IndexKind::kDissimilarity, 12, explore);
 
   // Re-derive each cell's per-unit counts for the permutation test by
   // recomputing through the encoded relation.
@@ -77,7 +78,7 @@ int main() {
                 test->observed, test->null_mean, test->p_value,
                 static_cast<unsigned long long>(rc.cell->context_size),
                 static_cast<unsigned long long>(rc.cell->minority_size),
-                result->cube.LabelOf(rc.cell->coords).c_str(),
+                view.LabelOf(rc.cell->coords).c_str(),
                 test->p_value < 0.05 ? "  *" : "");
   }
   std::printf("\n'*' marks contexts whose dissimilarity is significant at "

@@ -4,6 +4,7 @@
 
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "cube/cube_view.h"
 
 namespace scube {
 namespace cube {
@@ -29,6 +30,22 @@ size_t SegregationCube::NumDefinedCells() const {
     if (cell.indexes.defined) ++count;
   }
   return count;
+}
+
+CubeView SegregationCube::Seal() const& {
+  std::vector<CubeCell> cells;
+  cells.reserve(cells_.size());
+  for (const auto& [coords, cell] : cells_) cells.push_back(cell);
+  return CubeView(catalog_, unit_labels_, std::move(cells));
+}
+
+CubeView SegregationCube::Seal() && {
+  std::vector<CubeCell> cells;
+  cells.reserve(cells_.size());
+  for (auto& [coords, cell] : cells_) cells.push_back(std::move(cell));
+  cells_.clear();
+  return CubeView(std::move(catalog_), std::move(unit_labels_),
+                  std::move(cells));
 }
 
 std::vector<const CubeCell*> SegregationCube::Cells() const {

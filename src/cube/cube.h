@@ -3,6 +3,14 @@
 // Cells are addressed by (SA itemset, CA itemset) coordinates; metrics are
 // the six segregation indexes. The cube owns the item catalog so cells can
 // be labelled, navigated by attribute, and exported.
+//
+// This is the *mutable build-side* container: builders Insert() cells into
+// it, then Seal() freezes the result into an immutable, indexed CubeView
+// (cube/cube_view.h) — the structure every read path (explorer, SCubeQL
+// executor, serving layer, viz) consumes. The scan accessors kept here
+// (Cells / SliceBySa / SliceByCa / Parents / Children) are the O(all
+// cells) naive reference implementations; tests use them to validate the
+// sealed view's indexes, production code should query the view.
 
 #ifndef SCUBE_CUBE_CUBE_H_
 #define SCUBE_CUBE_CUBE_H_
@@ -18,7 +26,9 @@
 namespace scube {
 namespace cube {
 
-/// \brief Materialised segregation data cube.
+class CubeView;
+
+/// \brief Materialised segregation data cube (mutable build side).
 class SegregationCube {
  public:
   SegregationCube() = default;
@@ -42,7 +52,15 @@ class SegregationCube {
   size_t NumCells() const { return cells_.size(); }
   size_t NumDefinedCells() const;
 
-  /// All cells in deterministic order (by coordinate).
+  /// Freezes the cube into an immutable, indexed CubeView. The const
+  /// overload copies the cells (the cube stays usable for further builds);
+  /// the rvalue overload moves cells, catalog and labels into the view.
+  CubeView Seal() const&;
+  CubeView Seal() &&;
+
+  /// All cells in deterministic order (by coordinate). Allocates and sorts
+  /// per call — the naive reference path; sealed views expose a stable,
+  /// pre-sorted span instead (CubeView::Cells()).
   std::vector<const CubeCell*> Cells() const;
 
   /// Cells with the exact SA coordinates (any context).

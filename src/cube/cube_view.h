@@ -1,0 +1,163 @@
+// CubeView: the sealed, immutable, indexed read side of the segregation
+// cube (build -> seal -> publish -> query lifecycle).
+//
+// A SegregationCube is the mutable build-side container; Seal() freezes it
+// into a CubeView that owns a dense, coordinate-sorted cell array plus the
+// secondary structures every read path needs:
+//
+//   - a coordinate -> cell-id map for point lookups,
+//   - per-item SA/CA inverted lists (posting lists), so DICE-style
+//     containment queries intersect sorted id lists instead of scanning,
+//   - exact-coordinate slice groups (all cells sharing one SA or CA
+//     itemset), so SLICE is a hash lookup returning a span,
+//   - roll-up / drill-down adjacency lists in CSR form, so parent/child
+//     navigation and the explorer's SURPRISES/REVERSALS walk arrays with
+//     no per-call hashing,
+//   - per-index ranked orders (defined cells by value descending), so
+//     top-k queries walk a precomputed order instead of sorting per call.
+//
+// A CubeView is immutable after construction and therefore safe to share
+// across threads without locks; the serving layer publishes
+// shared_ptr<const CubeView> snapshots.
+
+#ifndef SCUBE_CUBE_CUBE_VIEW_H_
+#define SCUBE_CUBE_CUBE_VIEW_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cube/cell.h"
+#include "indexes/segregation_index.h"
+#include "relational/transactions.h"
+
+namespace scube {
+namespace cube {
+
+/// \brief Immutable, indexed snapshot of a segregation cube.
+class CubeView {
+ public:
+  /// Index into Cells(); stable for the lifetime of the view.
+  using CellId = uint32_t;
+  static constexpr CellId kNoCell = std::numeric_limits<CellId>::max();
+
+  CubeView() = default;
+
+  /// Builds the view from raw parts. `SegregationCube::Seal()` is the
+  /// intended entry point; this constructor exists for it and for tests.
+  /// Cells must have distinct coordinates (any order; they are sorted).
+  CubeView(relational::ItemCatalog catalog,
+           std::vector<std::string> unit_labels,
+           std::vector<CubeCell> cells);
+
+  const relational::ItemCatalog& catalog() const { return catalog_; }
+  const std::vector<std::string>& unit_labels() const { return unit_labels_; }
+
+  size_t NumCells() const { return cells_.size(); }
+  size_t NumDefinedCells() const { return num_defined_; }
+
+  /// All cells, sorted by coordinate. A stable span into the view — no
+  /// allocation, no per-call sort (unlike SegregationCube::Cells()).
+  std::span<const CubeCell> Cells() const { return cells_; }
+
+  /// Cell payload by id. Ids are ordinals into Cells(), so ascending id
+  /// order is ascending coordinate order.
+  const CubeCell& cell(CellId id) const { return cells_[id]; }
+
+  /// Point lookups.
+  CellId FindId(const CellCoordinates& coords) const;
+  const CubeCell* Find(const CellCoordinates& coords) const;
+  const CubeCell* Find(const fpm::Itemset& sa, const fpm::Itemset& ca) const;
+
+  /// Posting lists: ids of cells whose SA (resp. CA) coordinate *contains*
+  /// the item, ascending. Empty span for items absent from every cell.
+  std::span<const CellId> SaPostings(fpm::ItemId item) const;
+  std::span<const CellId> CaPostings(fpm::ItemId item) const;
+
+  /// Exact-coordinate slices: ids of cells whose SA (resp. CA) coordinate
+  /// *equals* the itemset, ascending (= coordinate order).
+  std::span<const CellId> SliceBySa(const fpm::Itemset& sa) const;
+  std::span<const CellId> SliceByCa(const fpm::Itemset& ca) const;
+
+  /// Roll-up parents of an existing cell, in item-removal order: SA items
+  /// ascending, then CA items ascending (absent parents skipped) — the
+  /// order the mutable cube's Parents() produced.
+  std::span<const CellId> Parents(CellId id) const;
+
+  /// Drill-down children of an existing cell, in coordinate order.
+  std::span<const CellId> Children(CellId id) const;
+
+  /// Parents/children of arbitrary coordinates (present in the cube or
+  /// not). Present cells use the precomputed adjacency; absent ones fall
+  /// back to coordinate probes against the id map. Same orders as above.
+  std::vector<CellId> ParentsOf(const CellCoordinates& coords) const;
+  std::vector<CellId> ChildrenOf(const CellCoordinates& coords) const;
+
+  /// Subcube selection: ids of cells whose SA contains every item of `sa`
+  /// AND whose CA contains every item of `ca`, ascending. Intersects the
+  /// posting lists of the constraint items (no constraints = all cells).
+  /// When `examined` is non-null it receives the number of candidate ids
+  /// inspected (the shortest posting list, or NumCells when unconstrained).
+  std::vector<CellId> Dice(const fpm::Itemset& sa, const fpm::Itemset& ca,
+                           uint64_t* examined = nullptr) const;
+
+  /// Ids of *defined* cells ordered by the given index descending,
+  /// coordinate-ascending on ties — the precomputed top-k order.
+  std::span<const CellId> RankedByIndex(indexes::IndexKind kind) const;
+
+  /// Human-readable cell label: "sex=F & age=young | region=north".
+  std::string LabelOf(const CellCoordinates& coords) const;
+
+  /// CSV export, one row per cell — the paper's cube.csv artifact.
+  std::string ToCsv() const;
+
+ private:
+  /// CSR adjacency / posting storage: ids_[offsets_[k] .. offsets_[k+1]).
+  struct Csr {
+    std::vector<uint32_t> offsets;
+    std::vector<CellId> ids;
+    std::span<const CellId> row(size_t k) const {
+      if (k + 1 >= offsets.size()) return {};
+      return std::span<const CellId>(ids).subspan(offsets[k],
+                                                  offsets[k + 1] - offsets[k]);
+    }
+  };
+
+  using SliceGroups =
+      std::unordered_map<fpm::Itemset, std::vector<CellId>, fpm::ItemsetHash>;
+
+  void BuildPostings();
+  void BuildSliceGroups();
+  void BuildAdjacency();
+  void BuildRankedOrders();
+
+  /// One-item-removal parent probe, in the contract order (SA items
+  /// ascending, then CA); shared by BuildAdjacency and ParentsOf.
+  std::vector<CellId> ProbeParents(const CellCoordinates& coords) const;
+
+  relational::ItemCatalog catalog_;
+  std::vector<std::string> unit_labels_;
+  std::vector<CubeCell> cells_;  ///< sorted by coordinate
+  size_t num_defined_ = 0;
+  size_t num_items_ = 0;  ///< posting-list universe: max item id + 1
+
+  std::unordered_map<CellCoordinates, CellId, CellCoordinatesHash>
+      id_by_coords_;
+
+  Csr sa_postings_;
+  Csr ca_postings_;
+  SliceGroups sa_groups_;
+  SliceGroups ca_groups_;
+  Csr parents_;
+  Csr children_;
+  std::array<std::vector<CellId>, indexes::kNumIndexKinds> ranked_;
+};
+
+}  // namespace cube
+}  // namespace scube
+
+#endif  // SCUBE_CUBE_CUBE_VIEW_H_

@@ -16,10 +16,6 @@ bool PassesExplorerFilters(const CubeCell& cell,
 
 namespace {
 
-bool PassesFilters(const CubeCell& cell, const ExplorerOptions& options) {
-  return PassesExplorerFilters(cell, options);
-}
-
 // Screen for cells used as comparison baselines (roll-up parents, drill-down
 // children): their index values are read, so they must carry a segregation
 // reading themselves. Cube-builder cubes leave pure-context cells undefined
@@ -34,91 +30,106 @@ bool UsableAsComparison(const CubeCell& cell, const ExplorerOptions& options) {
 
 }  // namespace
 
-std::vector<RankedCell> TopSegregatedContexts(const SegregationCube& cube,
+std::vector<RankedCell> TopSegregatedContexts(const CubeView& view,
                                               indexes::IndexKind kind,
                                               size_t k,
                                               const ExplorerOptions& options) {
   std::vector<RankedCell> ranked;
-  for (const CubeCell* cell : cube.Cells()) {
-    if (!PassesFilters(*cell, options)) continue;
-    ranked.push_back(RankedCell{cell, cell->Value(kind)});
+  if (k == 0) return ranked;
+  // The ranked order is pre-sorted by (value desc, coordinate asc);
+  // filtering preserves it, so the first k survivors are the answer.
+  for (CubeView::CellId id : view.RankedByIndex(kind)) {
+    const CubeCell& cell = view.cell(id);
+    if (!PassesExplorerFilters(cell, options)) continue;
+    ranked.push_back(RankedCell{&cell, cell.Value(kind)});
+    if (ranked.size() == k) break;
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedCell& a, const RankedCell& b) {
-              if (a.value != b.value) return a.value > b.value;
-              return a.cell->coords < b.cell->coords;
-            });
-  if (ranked.size() > k) ranked.resize(k);
   return ranked;
 }
 
-std::vector<SurpriseFinding> DrillDownSurprises(
-    const SegregationCube& cube, indexes::IndexKind kind, double min_delta,
-    const ExplorerOptions& options) {
-  std::vector<SurpriseFinding> out;
-  for (const CubeCell* cell : cube.Cells()) {
-    if (!PassesFilters(*cell, options)) continue;
-    if (cell->coords.sa.empty() && cell->coords.ca.empty()) continue;
-    auto parents = cube.Parents(cell->coords);
-    double best_parent = 0.0;
-    bool any_defined_parent = false;
-    for (const CubeCell* parent : parents) {
-      if (!UsableAsComparison(*parent, options)) continue;
-      any_defined_parent = true;
-      best_parent = std::max(best_parent, parent->Value(kind));
-    }
-    if (!any_defined_parent) continue;
-    double delta = cell->Value(kind) - best_parent;
-    if (delta >= min_delta) {
-      out.push_back(SurpriseFinding{cell, cell->Value(kind), best_parent,
-                                    delta});
-    }
+std::optional<SurpriseFinding> EvaluateSurprise(
+    const CubeView& view, CubeView::CellId id, indexes::IndexKind kind,
+    double min_delta, const ExplorerOptions& options) {
+  const CubeCell& cell = view.cell(id);
+  if (!PassesExplorerFilters(cell, options)) return std::nullopt;
+  if (cell.coords.sa.empty() && cell.coords.ca.empty()) return std::nullopt;
+  double best_parent = 0.0;
+  bool any_defined_parent = false;
+  for (CubeView::CellId parent_id : view.Parents(id)) {
+    const CubeCell& parent = view.cell(parent_id);
+    if (!UsableAsComparison(parent, options)) continue;
+    any_defined_parent = true;
+    best_parent = std::max(best_parent, parent.Value(kind));
   }
-  std::sort(out.begin(), out.end(),
+  if (!any_defined_parent) return std::nullopt;
+  double delta = cell.Value(kind) - best_parent;
+  if (delta < min_delta) return std::nullopt;
+  return SurpriseFinding{&cell, cell.Value(kind), best_parent, delta};
+}
+
+void SortSurprises(std::vector<SurpriseFinding>* findings) {
+  std::sort(findings->begin(), findings->end(),
             [](const SurpriseFinding& a, const SurpriseFinding& b) {
               if (a.delta != b.delta) return a.delta > b.delta;
               return a.cell->coords < b.cell->coords;
             });
+}
+
+std::vector<SurpriseFinding> DrillDownSurprises(
+    const CubeView& view, indexes::IndexKind kind, double min_delta,
+    const ExplorerOptions& options) {
+  std::vector<SurpriseFinding> out;
+  for (CubeView::CellId id = 0; id < view.NumCells(); ++id) {
+    if (auto finding = EvaluateSurprise(view, id, kind, min_delta, options)) {
+      out.push_back(*finding);
+    }
+  }
+  SortSurprises(&out);
   return out;
 }
 
-std::vector<GranularityReversal> FindGranularityReversals(
-    const SegregationCube& cube, indexes::IndexKind kind, double min_gap,
-    const ExplorerOptions& options) {
-  std::vector<GranularityReversal> out;
-  for (const CubeCell* parent : cube.Cells()) {
-    if (!PassesFilters(*parent, options)) continue;
-    // CA-children only: same subgroup, context refined by one item.
-    std::vector<const CubeCell*> children;
-    for (const CubeCell* child : cube.Children(parent->coords)) {
-      if (child->coords.sa == parent->coords.sa &&
-          UsableAsComparison(*child, options) &&
-          child->context_size >= options.min_context_size &&
-          child->minority_size >= options.min_minority_size) {
-        children.push_back(child);
-      }
-    }
-    if (children.size() < 2) continue;
-
-    double parent_value = parent->Value(kind);
-    bool all_above = true, all_below = true;
-    double min_child = 1e300, max_child = -1e300;
-    for (const CubeCell* child : children) {
-      double v = child->Value(kind);
-      min_child = std::min(min_child, v);
-      max_child = std::max(max_child, v);
-      if (v < parent_value + min_gap) all_above = false;
-      if (v > parent_value - min_gap) all_below = false;
-    }
-    if (all_above) {
-      out.push_back(GranularityReversal{parent, children, parent_value,
-                                        min_child, true});
-    } else if (all_below) {
-      out.push_back(GranularityReversal{parent, children, parent_value,
-                                        max_child, false});
+std::optional<GranularityReversal> EvaluateReversal(
+    const CubeView& view, CubeView::CellId id, indexes::IndexKind kind,
+    double min_gap, const ExplorerOptions& options) {
+  const CubeCell& parent = view.cell(id);
+  if (!PassesExplorerFilters(parent, options)) return std::nullopt;
+  // CA-children only: same subgroup, context refined by one item. The
+  // adjacency list is coordinate-sorted, so the children keep that order.
+  std::vector<const CubeCell*> children;
+  for (CubeView::CellId child_id : view.Children(id)) {
+    const CubeCell& child = view.cell(child_id);
+    if (child.coords.sa == parent.coords.sa &&
+        UsableAsComparison(child, options) &&
+        child.context_size >= options.min_context_size &&
+        child.minority_size >= options.min_minority_size) {
+      children.push_back(&child);
     }
   }
-  std::sort(out.begin(), out.end(),
+  if (children.size() < 2) return std::nullopt;
+
+  double parent_value = parent.Value(kind);
+  bool all_above = true, all_below = true;
+  double min_child = 1e300, max_child = -1e300;
+  for (const CubeCell* child : children) {
+    double v = child->Value(kind);
+    min_child = std::min(min_child, v);
+    max_child = std::max(max_child, v);
+    if (v < parent_value + min_gap) all_above = false;
+    if (v > parent_value - min_gap) all_below = false;
+  }
+  if (all_above) {
+    return GranularityReversal{&parent, std::move(children), parent_value,
+                               min_child, true};
+  }
+  if (all_below) {
+    return GranularityReversal{&parent, std::move(children), parent_value,
+                               max_child, false};
+  }
+  return std::nullopt;
+}
+
+void SortReversals(std::vector<GranularityReversal>* reversals) {
+  std::sort(reversals->begin(), reversals->end(),
             [](const GranularityReversal& a, const GranularityReversal& b) {
               double ga = a.children_higher ? a.min_child_value - a.parent_value
                                             : a.parent_value - a.min_child_value;
@@ -127,6 +138,18 @@ std::vector<GranularityReversal> FindGranularityReversals(
               if (ga != gb) return ga > gb;
               return a.parent->coords < b.parent->coords;
             });
+}
+
+std::vector<GranularityReversal> FindGranularityReversals(
+    const CubeView& view, indexes::IndexKind kind, double min_gap,
+    const ExplorerOptions& options) {
+  std::vector<GranularityReversal> out;
+  for (CubeView::CellId id = 0; id < view.NumCells(); ++id) {
+    if (auto reversal = EvaluateReversal(view, id, kind, min_gap, options)) {
+      out.push_back(std::move(*reversal));
+    }
+  }
+  SortReversals(&out);
   return out;
 }
 

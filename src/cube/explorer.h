@@ -1,15 +1,22 @@
-// Explorer: exploratory-analysis queries over a built cube — the
+// Explorer: exploratory-analysis queries over a sealed cube — the
 // "discovery" part of segregation discovery (top-k contexts, drill-down
 // surprise, Simpson-style granularity reversals).
+//
+// All queries run against an immutable CubeView: top-k walks the view's
+// precomputed ranked order, surprises and reversals walk its parent/child
+// adjacency lists. The per-cell evaluators are exported so the SCubeQL
+// executor can fold these analyses into its shared batch pass without
+// drifting from the explorer's semantics.
 
 #ifndef SCUBE_CUBE_EXPLORER_H_
 #define SCUBE_CUBE_EXPLORER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "cube/cube.h"
+#include "cube/cube_view.h"
 
 namespace scube {
 namespace cube {
@@ -44,9 +51,10 @@ struct RankedCell {
 };
 
 /// Top-k cells by the given index, descending, among defined cells passing
-/// the filters.
+/// the filters. Walks the view's precomputed ranked order, so the cost is
+/// O(k + cells filtered out before the k-th hit), not a fresh sort.
 std::vector<RankedCell> TopSegregatedContexts(
-    const SegregationCube& cube, indexes::IndexKind kind, size_t k,
+    const CubeView& view, indexes::IndexKind kind, size_t k,
     const ExplorerOptions& options = ExplorerOptions());
 
 /// \brief A drill-down surprise: a cell whose index deviates strongly from
@@ -58,11 +66,25 @@ struct SurpriseFinding {
   double delta = 0.0;              ///< value - best_parent_value
 };
 
+/// Evaluates one cell of the view as a surprise candidate: nullopt when the
+/// cell fails the filters, is the root, has no usable parent, or sits
+/// within `min_delta` of its best parent. The parent walk uses the view's
+/// precomputed adjacency — no hashing.
+std::optional<SurpriseFinding> EvaluateSurprise(const CubeView& view,
+                                                CubeView::CellId id,
+                                                indexes::IndexKind kind,
+                                                double min_delta,
+                                                const ExplorerOptions& options);
+
+/// Sorts findings by delta descending (coordinate order on ties) — the
+/// order DrillDownSurprises returns.
+void SortSurprises(std::vector<SurpriseFinding>* findings);
+
 /// Cells whose index exceeds all their parents by at least `min_delta`
 /// (sorted by delta, descending). These are the contexts an analyst would
 /// miss at coarser granularity.
 std::vector<SurpriseFinding> DrillDownSurprises(
-    const SegregationCube& cube, indexes::IndexKind kind, double min_delta,
+    const CubeView& view, indexes::IndexKind kind, double min_delta,
     const ExplorerOptions& options = ExplorerOptions());
 
 /// \brief A Simpson-style granularity reversal: a parent cell that looks
@@ -76,10 +98,22 @@ struct GranularityReversal {
   bool children_higher = true;  ///< all children above parent (masking)
 };
 
+/// Evaluates one cell of the view as a reversal parent: nullopt when it
+/// fails the filters, has fewer than two usable CA-children, or any child
+/// sits within `min_gap` on the parent's side. Children come from the
+/// view's adjacency lists.
+std::optional<GranularityReversal> EvaluateReversal(
+    const CubeView& view, CubeView::CellId id, indexes::IndexKind kind,
+    double min_gap, const ExplorerOptions& options);
+
+/// Sorts reversals by gap descending (coordinate order on ties) — the
+/// order FindGranularityReversals returns.
+void SortReversals(std::vector<GranularityReversal>* reversals);
+
 /// Finds parents whose every child (>= 2 children, same SA, CA extended by
 /// one item) sits on the other side of the parent by at least `min_gap`.
 std::vector<GranularityReversal> FindGranularityReversals(
-    const SegregationCube& cube, indexes::IndexKind kind, double min_gap,
+    const CubeView& view, indexes::IndexKind kind, double min_gap,
     const ExplorerOptions& options = ExplorerOptions());
 
 }  // namespace cube

@@ -72,7 +72,8 @@ const char* VerbToString(Verb verb) {
 }
 
 bool Query::operator==(const Query& other) const {
-  return verb == other.verb && cube == other.cube && sa == other.sa &&
+  return verb == other.verb && cube == other.cube &&
+         cube_version == other.cube_version && sa == other.sa &&
          ca == other.ca && k == other.k && by == other.by &&
          threshold == other.threshold && min_t == other.min_t &&
          min_m == other.min_m && order == other.order && limit == other.limit;
@@ -99,7 +100,10 @@ std::string Canonical(const Query& query) {
   if (!query.sa.empty()) out += " sa=" + RenderConjunction(query.sa);
   if (!query.sa.empty() && !query.ca.empty()) out += " |";
   if (!query.ca.empty()) out += " ca=" + RenderConjunction(query.ca);
-  if (!query.cube.empty()) out += " FROM " + query.cube;
+  if (!query.cube.empty()) {
+    out += " FROM " + query.cube;
+    if (query.cube_version) out += "@" + std::to_string(*query.cube_version);
+  }
   if (query.min_t || query.min_m) {
     out += " WHERE ";
     if (query.min_t) out += "T >= " + std::to_string(*query.min_t);

@@ -10,6 +10,7 @@
 //   TOPK 5 BY dissimilarity WHERE T >= 30 AND M >= 5
 //   SURPRISES BY gini MINDELTA 0.2 LIMIT 10
 //   REVERSALS MINGAP 0.3 FROM italy_2012
+//   TOPK 3 BY gini FROM italy_2012@2        (exact sealed-version pin)
 //
 // Navigation verbs (SLICE/DICE/ROLLUP/DRILLDOWN) address cells by
 // attribute=value coordinates; analytic verbs (TOPK/SURPRISES/REVERSALS)
@@ -75,6 +76,10 @@ struct Query {
 
   /// FROM clause: which published cube to query ("" = the default cube).
   std::string cube;
+
+  /// `FROM name@version` pin: answer from this exact sealed version (the
+  /// store keeps the last K). Unset = the latest version.
+  std::optional<uint64_t> cube_version;
 
   /// Coordinate constraints (`sa=...` / `ca=...` parts).
   std::vector<AttrValue> sa;

@@ -7,28 +7,57 @@ namespace query {
 
 uint64_t CubeStore::Publish(const std::string& name,
                             cube::SegregationCube cube) {
+  // Seal outside the lock: index construction is the expensive part and
+  // must not block readers of other cubes.
   auto snapshot =
-      std::make_shared<const cube::SegregationCube>(std::move(cube));
+      std::make_shared<const cube::CubeView>(std::move(cube).Seal());
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
-  entry.cube = std::move(snapshot);
-  return ++entry.version;
+  uint64_t version = ++entry.latest;
+  entry.versions.emplace_back(version, std::move(snapshot));
+  while (entry.versions.size() > max_versions_) {
+    entry.versions.pop_front();
+  }
+  return version;
 }
 
 CubeStore::Snapshot CubeStore::Get(const std::string& name,
                                    uint64_t* version) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
+  bool found = it != entries_.end() && !it->second.versions.empty();
   if (version != nullptr) {
-    *version = it == entries_.end() ? 0 : it->second.version;
+    *version = found ? it->second.versions.back().first : 0;
   }
-  return it == entries_.end() ? nullptr : it->second.cube;
+  return found ? it->second.versions.back().second : nullptr;
+}
+
+CubeStore::Snapshot CubeStore::GetVersion(const std::string& name,
+                                          uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  for (const auto& [v, snapshot] : it->second.versions) {
+    if (v == version) return snapshot;
+  }
+  return nullptr;
 }
 
 uint64_t CubeStore::Version(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? 0 : it->second.version;
+  return it == entries_.end() ? 0 : it->second.latest;
+}
+
+std::vector<uint64_t> CubeStore::RetainedVersions(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  std::vector<uint64_t> out;
+  if (it == entries_.end()) return out;
+  out.reserve(it->second.versions.size());
+  for (const auto& [v, snapshot] : it->second.versions) out.push_back(v);
+  return out;
 }
 
 std::vector<std::string> CubeStore::Names() const {

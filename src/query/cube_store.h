@@ -1,16 +1,22 @@
 // CubeStore: the registry between cube *builds* and cube *queries*.
 //
-// Pipeline runs publish immutable SegregationCube snapshots under a name;
-// queries take shared_ptr snapshots and keep working on them even while a
-// newer version of the same cube is being published — publishing never
-// blocks readers, readers never block builds. Each publish bumps a
-// monotonically increasing version, which the result cache keys on, so
-// stale results age out without explicit invalidation.
+// Pipeline runs publish mutable SegregationCube builds under a name; the
+// store seals each build into an immutable, indexed cube::CubeView exactly
+// once at publish time (not per query) and hands out
+// shared_ptr<const CubeView> snapshots. Queries keep working on their
+// snapshot even while a newer version of the same cube is being published —
+// publishing never blocks readers, readers never block builds.
+//
+// Each publish bumps a monotonically increasing version; the store retains
+// the last `max_versions` sealed views per name, so `FROM name@version`
+// pins can be answered for recent history. The result cache keys on the
+// version, so stale results age out without explicit invalidation.
 
 #ifndef SCUBE_QUERY_CUBE_STORE_H_
 #define SCUBE_QUERY_CUBE_STORE_H_
 
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -20,38 +26,56 @@
 #include <vector>
 
 #include "cube/cube.h"
+#include "cube/cube_view.h"
 #include "query/query_result.h"
 #include "scube/pipeline.h"
 
 namespace scube {
 namespace query {
 
-/// \brief Named, versioned, immutable cube snapshots. Thread-safe.
+/// \brief Named, versioned, immutable sealed-cube snapshots. Thread-safe.
 class CubeStore {
  public:
-  using Snapshot = std::shared_ptr<const cube::SegregationCube>;
+  using Snapshot = std::shared_ptr<const cube::CubeView>;
 
-  /// Publishes (or replaces) the cube under `name`; returns the new
-  /// version (1 on first publish). Existing snapshots stay valid.
+  /// Sealed versions retained per cube name by default.
+  static constexpr size_t kDefaultMaxVersions = 4;
+
+  explicit CubeStore(size_t max_versions = kDefaultMaxVersions)
+      : max_versions_(max_versions == 0 ? 1 : max_versions) {}
+
+  /// Seals the cube and publishes it under `name`; returns the new version
+  /// (1 on first publish). Existing snapshots stay valid; versions older
+  /// than the last `max_versions` are evicted from the store (readers
+  /// holding them keep them alive).
   uint64_t Publish(const std::string& name, cube::SegregationCube cube);
 
-  /// Current snapshot, or nullptr when no cube has that name. When
+  /// Latest snapshot, or nullptr when no cube has that name. When
   /// `version` is non-null it receives the snapshot's version (0 when
   /// absent) — taken under the same lock, so the pair is consistent even
   /// against concurrent publishes.
   Snapshot Get(const std::string& name, uint64_t* version = nullptr) const;
 
+  /// Exact-version snapshot (`FROM name@version`); nullptr when the name
+  /// is unknown or the version was evicted / never published.
+  Snapshot GetVersion(const std::string& name, uint64_t version) const;
+
   /// Current version; 0 when absent.
   uint64_t Version(const std::string& name) const;
+
+  /// Versions currently retained for `name`, ascending; empty when absent.
+  std::vector<uint64_t> RetainedVersions(const std::string& name) const;
 
   /// Published cube names, sorted.
   std::vector<std::string> Names() const;
 
  private:
   struct Entry {
-    Snapshot cube;
-    uint64_t version = 0;
+    uint64_t latest = 0;
+    /// (version, view), ascending by version; at most max_versions_.
+    std::deque<std::pair<uint64_t, Snapshot>> versions;
   };
+  const size_t max_versions_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
 };

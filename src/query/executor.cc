@@ -13,11 +13,10 @@ std::string ItemKey(const std::string& attr, const std::string& value) {
   return attr + kKeySep + value;
 }
 
-ResultRow MakeRow(const cube::SegregationCube& cube,
-                  const cube::CubeCell& cell) {
+ResultRow MakeRow(const cube::CubeView& view, const cube::CubeCell& cell) {
   ResultRow row;
-  row.sa = cube.catalog().LabelSet(cell.coords.sa);
-  row.ca = cube.catalog().LabelSet(cell.coords.ca);
+  row.sa = view.catalog().LabelSet(cell.coords.sa);
+  row.ca = view.catalog().LabelSet(cell.coords.ca);
   row.t = cell.context_size;
   row.m = cell.minority_size;
   row.units = cell.num_units;
@@ -72,10 +71,17 @@ void ApplyOrderAndLimit(const Query& q, QueryResult* result) {
   }
 }
 
-/// How a query consumes the cube.
+/// How a query consumes the view's indexes.
 enum class Mode {
-  kScan,    ///< participates in the shared cell scan
-  kDirect,  ///< point lookups / explorer calls, run per query
+  kPoint,      ///< fully addressed SLICE: one map lookup
+  kSliceSa,    ///< exact-SA slice group
+  kSliceCa,    ///< exact-CA slice group
+  kSliceAll,   ///< degenerate SLICE with no coordinates: every cell
+  kDice,       ///< posting-list intersection
+  kTopK,       ///< ranked-order walk
+  kRollup,     ///< parent adjacency / probes
+  kDrilldown,  ///< child adjacency / probes
+  kScan,       ///< SURPRISES / REVERSALS: shared pass over the cell array
 };
 
 struct Prepared {
@@ -83,15 +89,38 @@ struct Prepared {
   Status error;       ///< resolution failure, reported at finalise time
   fpm::Itemset sa;    ///< resolved SA constraint items
   fpm::Itemset ca;    ///< resolved CA constraint items
-  Mode mode = Mode::kDirect;
+  Mode mode = Mode::kPoint;
   cube::ExplorerOptions explorer;  ///< analytic-verb filters, precomputed
-  std::vector<const cube::CubeCell*> hits;  ///< shared-scan matches
+  std::vector<cube::SurpriseFinding> surprises;      ///< shared-pass hits
+  std::vector<cube::GranularityReversal> reversals;  ///< shared-pass hits
 };
+
+Mode ClassifyQuery(const Query& q) {
+  switch (q.verb) {
+    case Verb::kSlice:
+      if (!q.sa.empty() && !q.ca.empty()) return Mode::kPoint;
+      if (!q.sa.empty()) return Mode::kSliceSa;
+      if (!q.ca.empty()) return Mode::kSliceCa;
+      return Mode::kSliceAll;
+    case Verb::kDice:
+      return Mode::kDice;
+    case Verb::kTopK:
+      return Mode::kTopK;
+    case Verb::kRollup:
+      return Mode::kRollup;
+    case Verb::kDrilldown:
+      return Mode::kDrilldown;
+    case Verb::kSurprises:
+    case Verb::kReversals:
+      return Mode::kScan;
+  }
+  return Mode::kPoint;
+}
 
 }  // namespace
 
-Executor::Executor(const cube::SegregationCube& cube) : cube_(cube) {
-  const relational::ItemCatalog& catalog = cube.catalog();
+Executor::Executor(const cube::CubeView& view) : view_(view) {
+  const relational::ItemCatalog& catalog = view.catalog();
   item_by_key_.reserve(catalog.size());
   for (size_t i = 0; i < catalog.size(); ++i) {
     fpm::ItemId id = static_cast<fpm::ItemId>(i);
@@ -116,7 +145,7 @@ Result<fpm::Itemset> Executor::ResolveItems(
       return Status::NotFound("unknown value '" + av.value +
                               "' for attribute '" + av.attr + "'");
     }
-    const relational::ItemInfo& info = cube_.catalog().info(it->second);
+    const relational::ItemInfo& info = view_.catalog().info(it->second);
     if (info.kind != kind) {
       const char* axis =
           info.kind == relational::AttributeKind::kSegregation ? "sa" : "ca";
@@ -138,7 +167,7 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
 
 std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     const std::vector<Query>& queries) const {
-  // --- prepare: resolve coordinates, classify scan vs direct -------------
+  // --- prepare: resolve coordinates, classify by index path --------------
   std::vector<Prepared> prepared(queries.size());
   bool any_scan = false;
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -159,59 +188,31 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     }
     p.ca = std::move(ca).value();
     p.explorer = ExplorerOptionsFor(queries[i]);
-
-    switch (queries[i].verb) {
-      case Verb::kDice:
-      case Verb::kTopK:
-        p.mode = Mode::kScan;
-        break;
-      case Verb::kSlice:
-        // Both axes given -> a single-cell point lookup; otherwise the
-        // slice filter runs inside the shared scan.
-        p.mode = (!queries[i].sa.empty() && !queries[i].ca.empty())
-                     ? Mode::kDirect
-                     : Mode::kScan;
-        break;
-      default:
-        p.mode = Mode::kDirect;
-        break;
-    }
+    p.mode = ClassifyQuery(queries[i]);
     if (p.mode == Mode::kScan) any_scan = true;
   }
 
-  // --- one shared pass over the cube for every scan-shaped query ---------
-  size_t scanned = 0;
+  // --- one shared pass over the cell array for every analytic query ------
+  // Each cell is evaluated against each SURPRISES/REVERSALS query via the
+  // view's precomputed parent/child adjacency (the explorer's per-cell
+  // evaluators) — B analytic queries walk the cube once, not B times.
   if (any_scan) {
-    std::vector<const cube::CubeCell*> cells = cube_.Cells();
-    scanned = cells.size();
-    for (const cube::CubeCell* cell : cells) {
+    const size_t n = view_.NumCells();
+    for (cube::CubeView::CellId id = 0; id < n; ++id) {
       for (Prepared& p : prepared) {
         if (p.mode != Mode::kScan || !p.error.ok()) continue;
         const Query& q = *p.query;
-        switch (q.verb) {
-          case Verb::kSlice:
-            if (!q.sa.empty() &&
-                (cell->coords.sa != p.sa || !PassesWhere(*cell, q))) {
-              continue;
-            }
-            if (!q.ca.empty() &&
-                (cell->coords.ca != p.ca || !PassesWhere(*cell, q))) {
-              continue;
-            }
-            break;
-          case Verb::kDice:
-            if (!p.sa.IsSubsetOf(cell->coords.sa) ||
-                !p.ca.IsSubsetOf(cell->coords.ca) || !PassesWhere(*cell, q)) {
-              continue;
-            }
-            break;
-          case Verb::kTopK:
-            if (!cube::PassesExplorerFilters(*cell, p.explorer)) continue;
-            break;
-          default:
-            continue;
+        if (q.verb == Verb::kSurprises) {
+          if (auto finding = cube::EvaluateSurprise(view_, id, q.by,
+                                                    q.threshold, p.explorer)) {
+            p.surprises.push_back(*finding);
+          }
+        } else {
+          if (auto reversal = cube::EvaluateReversal(view_, id, q.by,
+                                                     q.threshold, p.explorer)) {
+            p.reversals.push_back(std::move(*reversal));
+          }
         }
-        p.hits.push_back(cell);
       }
     }
   }
@@ -229,109 +230,125 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     result.verb = q.verb;
     result.by = q.by;
 
-    switch (q.verb) {
-      case Verb::kSlice:
-        if (p.mode == Mode::kDirect) {
-          const cube::CubeCell* cell = cube_.Find(p.sa, p.ca);
-          if (cell != nullptr && PassesWhere(*cell, q)) {
-            result.rows.push_back(MakeRow(cube_, *cell));
-          }
-          result.cells_scanned = 1;
-        } else {
-          for (const cube::CubeCell* cell : p.hits) {
-            result.rows.push_back(MakeRow(cube_, *cell));
-          }
-          result.cells_scanned = scanned;
+    switch (p.mode) {
+      case Mode::kPoint: {
+        const cube::CubeCell* cell = view_.Find(p.sa, p.ca);
+        if (cell != nullptr && PassesWhere(*cell, q)) {
+          result.rows.push_back(MakeRow(view_, *cell));
         }
-        break;
-
-      case Verb::kDice:
-        for (const cube::CubeCell* cell : p.hits) {
-          result.rows.push_back(MakeRow(cube_, *cell));
-        }
-        result.cells_scanned = scanned;
-        break;
-
-      case Verb::kTopK: {
-        std::sort(p.hits.begin(), p.hits.end(),
-                  [&q](const cube::CubeCell* a, const cube::CubeCell* b) {
-                    double va = a->Value(q.by), vb = b->Value(q.by);
-                    if (va != vb) return va > vb;
-                    return a->coords < b->coords;
-                  });
-        if (p.hits.size() > q.k) p.hits.resize(q.k);
-        result.has_value = true;
-        for (const cube::CubeCell* cell : p.hits) {
-          ResultRow row = MakeRow(cube_, *cell);
-          row.value = cell->Value(q.by);
-          result.rows.push_back(std::move(row));
-        }
-        result.cells_scanned = scanned;
+        result.cells_scanned = 1;
         break;
       }
 
-      case Verb::kRollup: {
-        auto parents =
-            cube_.Parents(cube::CellCoordinates{p.sa, p.ca});
-        for (const cube::CubeCell* cell : parents) {
-          if (PassesWhere(*cell, q)) {
-            result.rows.push_back(MakeRow(cube_, *cell));
+      case Mode::kSliceSa:
+      case Mode::kSliceCa: {
+        auto group = p.mode == Mode::kSliceSa ? view_.SliceBySa(p.sa)
+                                              : view_.SliceByCa(p.ca);
+        for (cube::CubeView::CellId id : group) {
+          const cube::CubeCell& cell = view_.cell(id);
+          if (PassesWhere(cell, q)) {
+            result.rows.push_back(MakeRow(view_, cell));
+          }
+        }
+        result.cells_scanned = group.size();
+        break;
+      }
+
+      case Mode::kSliceAll:
+        // Hand-constructed SLICE with no coordinates: every cell (the
+        // legacy shared-scan behaviour; unreachable through the parser).
+        for (const cube::CubeCell& cell : view_.Cells()) {
+          result.rows.push_back(MakeRow(view_, cell));
+        }
+        result.cells_scanned = view_.NumCells();
+        break;
+
+      case Mode::kDice: {
+        uint64_t examined = 0;
+        for (cube::CubeView::CellId id : view_.Dice(p.sa, p.ca, &examined)) {
+          const cube::CubeCell& cell = view_.cell(id);
+          if (PassesWhere(cell, q)) {
+            result.rows.push_back(MakeRow(view_, cell));
+          }
+        }
+        result.cells_scanned = examined;
+        break;
+      }
+
+      case Mode::kTopK: {
+        uint64_t walked = 0;
+        result.has_value = true;
+        for (cube::CubeView::CellId id : view_.RankedByIndex(q.by)) {
+          if (result.rows.size() >= q.k) break;
+          ++walked;
+          const cube::CubeCell& cell = view_.cell(id);
+          if (!cube::PassesExplorerFilters(cell, p.explorer)) continue;
+          ResultRow row = MakeRow(view_, cell);
+          row.value = cell.Value(q.by);
+          result.rows.push_back(std::move(row));
+        }
+        result.cells_scanned = walked;
+        break;
+      }
+
+      case Mode::kRollup: {
+        auto parents = view_.ParentsOf(cube::CellCoordinates{p.sa, p.ca});
+        for (cube::CubeView::CellId id : parents) {
+          const cube::CubeCell& cell = view_.cell(id);
+          if (PassesWhere(cell, q)) {
+            result.rows.push_back(MakeRow(view_, cell));
           }
         }
         result.cells_scanned = parents.size();
         break;
       }
 
-      case Verb::kDrilldown: {
-        auto children =
-            cube_.Children(cube::CellCoordinates{p.sa, p.ca});
-        for (const cube::CubeCell* cell : children) {
-          if (PassesWhere(*cell, q)) {
-            result.rows.push_back(MakeRow(cube_, *cell));
+      case Mode::kDrilldown: {
+        auto children = view_.ChildrenOf(cube::CellCoordinates{p.sa, p.ca});
+        for (cube::CubeView::CellId id : children) {
+          const cube::CubeCell& cell = view_.cell(id);
+          if (PassesWhere(cell, q)) {
+            result.rows.push_back(MakeRow(view_, cell));
           }
         }
         result.cells_scanned = children.size();
         break;
       }
 
-      case Verb::kSurprises: {
-        auto findings =
-            cube::DrillDownSurprises(cube_, q.by, q.threshold, p.explorer);
-        result.has_value = true;
-        result.has_aux = true;
-        result.aux_name = "delta";
-        result.has_aux2 = true;
-        result.aux2_name = "best_parent";
-        for (const cube::SurpriseFinding& f : findings) {
-          ResultRow row = MakeRow(cube_, *f.cell);
-          row.value = f.value;
-          row.aux = f.delta;
-          row.aux2 = f.best_parent_value;
-          result.rows.push_back(std::move(row));
+      case Mode::kScan: {
+        if (q.verb == Verb::kSurprises) {
+          cube::SortSurprises(&p.surprises);
+          result.has_value = true;
+          result.has_aux = true;
+          result.aux_name = "delta";
+          result.has_aux2 = true;
+          result.aux2_name = "best_parent";
+          for (const cube::SurpriseFinding& f : p.surprises) {
+            ResultRow row = MakeRow(view_, *f.cell);
+            row.value = f.value;
+            row.aux = f.delta;
+            row.aux2 = f.best_parent_value;
+            result.rows.push_back(std::move(row));
+          }
+        } else {
+          cube::SortReversals(&p.reversals);
+          result.has_value = true;
+          result.has_aux = true;
+          result.aux_name = "boundary_child";
+          result.has_aux2 = true;
+          result.aux2_name = "children";
+          result.has_tag = true;
+          result.tag_name = "direction";
+          for (const cube::GranularityReversal& r : p.reversals) {
+            ResultRow row = MakeRow(view_, *r.parent);
+            row.value = r.parent_value;
+            row.aux = r.min_child_value;
+            row.aux2 = static_cast<double>(r.children.size());
+            row.tag = r.children_higher ? "masked" : "inflated";
+            result.rows.push_back(std::move(row));
+          }
         }
-        result.cells_scanned = cube_.NumCells();
-        break;
-      }
-
-      case Verb::kReversals: {
-        auto findings = cube::FindGranularityReversals(cube_, q.by,
-                                                       q.threshold, p.explorer);
-        result.has_value = true;
-        result.has_aux = true;
-        result.aux_name = "boundary_child";
-        result.has_aux2 = true;
-        result.aux2_name = "children";
-        result.has_tag = true;
-        result.tag_name = "direction";
-        for (const cube::GranularityReversal& r : findings) {
-          ResultRow row = MakeRow(cube_, *r.parent);
-          row.value = r.parent_value;
-          row.aux = r.min_child_value;
-          row.aux2 = static_cast<double>(r.children.size());
-          row.tag = r.children_higher ? "masked" : "inflated";
-          result.rows.push_back(std::move(row));
-        }
-        result.cells_scanned = cube_.NumCells();
+        result.cells_scanned = view_.NumCells();
         break;
       }
     }

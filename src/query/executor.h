@@ -1,13 +1,23 @@
-// SCubeQL executor: lowers a parsed Query onto one immutable cube
-// snapshot. Coordinate constraints (attribute=value) resolve to item ids
-// through the cube's ItemCatalog; navigation verbs map onto
-// SegregationCube lookups, analytic verbs onto the cube explorer.
+// SCubeQL executor: lowers a parsed Query onto one sealed cube snapshot
+// (cube::CubeView). Coordinate constraints (attribute=value) resolve to
+// item ids through the view's ItemCatalog; verbs lower onto the view's
+// secondary indexes:
 //
-// ExecuteBatch shares a single pass over the cube's cells across every
-// scan-shaped query in the batch (SLICE on one axis, DICE, TOPK) — the
-// batched-scan idiom: with B such queries the cube is walked once, not B
-// times. Point lookups (ROLLUP, DRILLDOWN, fully-addressed SLICE) and the
-// explorer verbs (SURPRISES, REVERSALS) run per query.
+//   SLICE     exact-coordinate slice groups (hash lookup -> id span), or a
+//             single point lookup when both axes are given,
+//   DICE      posting-list intersection over the per-item inverted lists,
+//   TOPK      a walk of the view's precomputed ranked order,
+//   ROLLUP /
+//   DRILLDOWN parent/child adjacency lists (coordinate probes when the
+//             addressed cell is absent from the cube),
+//   SURPRISES /
+//   REVERSALS one shared pass over the dense cell array, evaluating every
+//             such query per cell via the adjacency lists (the explorer's
+//             per-cell evaluators) — with B such queries the cube is
+//             walked once, not B times.
+//
+// No verb scans the full cube per call except the shared analytic pass,
+// and that pass is amortised across the batch.
 
 #ifndef SCUBE_QUERY_EXECUTOR_H_
 #define SCUBE_QUERY_EXECUTOR_H_
@@ -17,7 +27,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "cube/cube.h"
+#include "cube/cube_view.h"
 #include "cube/explorer.h"
 #include "query/ast.h"
 #include "query/query_result.h"
@@ -25,19 +35,19 @@
 namespace scube {
 namespace query {
 
-/// \brief Executes queries against one cube snapshot.
+/// \brief Executes queries against one sealed cube snapshot.
 ///
 /// Construction indexes the catalog (attribute/value -> item id); the
 /// executor itself is immutable and safe to share across threads.
 class Executor {
  public:
-  explicit Executor(const cube::SegregationCube& cube);
+  explicit Executor(const cube::CubeView& view);
 
   /// Executes one query.
   Result<QueryResult> Execute(const Query& query) const;
 
-  /// Executes a batch, sharing one cell scan across scan-shaped queries.
-  /// result[i] answers queries[i].
+  /// Executes a batch, sharing one cell pass across the analytic
+  /// (SURPRISES/REVERSALS) queries. result[i] answers queries[i].
   std::vector<Result<QueryResult>> ExecuteBatch(
       const std::vector<Query>& queries) const;
 
@@ -49,7 +59,7 @@ class Executor {
                                     relational::AttributeKind kind) const;
 
  private:
-  const cube::SegregationCube& cube_;
+  const cube::CubeView& view_;
   std::unordered_map<std::string, fpm::ItemId> item_by_key_;  // attr \x1F value
   std::unordered_map<std::string, relational::AttributeKind> kind_by_attr_;
 };

@@ -57,7 +57,7 @@ Result<std::vector<Token>> Lex(const std::string& text) {
       if (i + 1 < text.size() && text[i + 1] == '=') sym += '=';
       tokens.push_back({TokenType::kSymbol, sym, col});
       i += sym.size();
-    } else if (c == '=' || c == '&' || c == '|') {
+    } else if (c == '=' || c == '&' || c == '|' || c == '@') {
       tokens.push_back({TokenType::kSymbol, std::string(1, c), col});
       ++i;
     } else if (IsWordChar(c)) {
@@ -138,6 +138,14 @@ class Parser {
         return Error(name, "expected a cube name after FROM");
       }
       q.cube = name.text;
+      // Exact sealed-version pin: FROM name@version.
+      if (ConsumeSymbol("@")) {
+        SCUBE_ASSIGN_OR_RETURN(uint64_t version, ParseInt("FROM version"));
+        if (version == 0) {
+          return Error(Peek(), "cube versions start at 1; '@0' never matches");
+        }
+        q.cube_version = version;
+      }
     }
     if (ConsumeKeyword("where")) {
       SCUBE_RETURN_IF_ERROR(ParseWhere(&q));

@@ -2,7 +2,7 @@
 //
 // Grammar (keywords case-insensitive; values may be 'quoted' for spaces):
 //
-//   query      := verb [FROM ident] [where] [order] [LIMIT int]
+//   query      := verb [FROM ident ['@' int]] [where] [order] [LIMIT int]
 //   verb       := SLICE coords | DICE coords
 //              | ROLLUP [coords] | DRILLDOWN [coords]
 //              | TOPK int BY index

@@ -92,11 +92,24 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     resp.cube = query.cube.empty() ? options_.default_cube : query.cube;
 
     uint64_t version = 0;
-    CubeStore::Snapshot snapshot = store_->Get(resp.cube, &version);
-    if (snapshot == nullptr) {
-      resp.status =
-          Status::NotFound("no cube published under '" + resp.cube + "'");
-      continue;
+    CubeStore::Snapshot snapshot;
+    if (query.cube_version) {
+      // FROM name@version pin: the store keeps the last K sealed versions.
+      version = *query.cube_version;
+      snapshot = store_->GetVersion(resp.cube, version);
+      if (snapshot == nullptr) {
+        resp.status = Status::NotFound(
+            "no version " + std::to_string(version) + " of cube '" +
+            resp.cube + "' (evicted or never published)");
+        continue;
+      }
+    } else {
+      snapshot = store_->Get(resp.cube, &version);
+      if (snapshot == nullptr) {
+        resp.status =
+            Status::NotFound("no cube published under '" + resp.cube + "'");
+        continue;
+      }
     }
     resp.cube_version = version;
 

@@ -48,6 +48,9 @@ Result<TemporalResult> RunTemporalAnalysis(
     if (!result.ok()) {
       return result.status().WithContext("snapshot " + std::to_string(date));
     }
+    // Tracked-cell extraction is a handful of point lookups per date, so
+    // it reads the build-side cube directly; sealing (index construction)
+    // is reserved for snapshots that get published and explored.
     const auto& cube = result->cube;
     const auto& schema = result->final_table.schema();
 

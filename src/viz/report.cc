@@ -31,9 +31,9 @@ std::string Pad(const std::string& s, size_t width) {
 
 }  // namespace
 
-Result<std::string> RenderPivotTable(const cube::SegregationCube& cube,
+Result<std::string> RenderPivotTable(const cube::CubeView& view,
                                      const PivotSpec& spec) {
-  const auto& catalog = cube.catalog();
+  const auto& catalog = view.catalog();
   std::vector<fpm::ItemId> row_items =
       AttributeItems(catalog, spec.sa_attribute);
   std::vector<fpm::ItemId> col_items =
@@ -81,7 +81,7 @@ Result<std::string> RenderPivotTable(const cube::SegregationCube& cube,
     for (size_t c = 0; c <= col_items.size(); ++c) {
       fpm::Itemset ca = spec.fixed_ca;
       if (c < col_items.size()) ca = ca.With(col_items[c]);
-      const cube::CubeCell* cell = cube.Find(sa, ca);
+      const cube::CubeCell* cell = view.Find(sa, ca);
       std::string text = "-";
       if (cell != nullptr && cell->indexes.defined) {
         text = FormatDouble(cell->indexes[spec.index], 2);
@@ -93,10 +93,10 @@ Result<std::string> RenderPivotTable(const cube::SegregationCube& cube,
   return out;
 }
 
-std::string RenderTopContexts(const cube::SegregationCube& cube,
+std::string RenderTopContexts(const cube::CubeView& view,
                               indexes::IndexKind kind, size_t k,
                               const cube::ExplorerOptions& options) {
-  auto top = cube::TopSegregatedContexts(cube, kind, k, options);
+  auto top = cube::TopSegregatedContexts(view, kind, k, options);
   std::string out;
   out += Pad("#", 4) + Pad(indexes::IndexKindToString(kind), 16) +
          Pad("T", 9) + Pad("M", 9) + "context\n";
@@ -106,15 +106,15 @@ std::string RenderTopContexts(const cube::SegregationCube& cube,
            Pad(FormatDouble(rc.value, 4), 16) +
            Pad(std::to_string(rc.cell->context_size), 9) +
            Pad(std::to_string(rc.cell->minority_size), 9) +
-           cube.LabelOf(rc.cell->coords) + "\n";
+           view.LabelOf(rc.cell->coords) + "\n";
     ++rank;
   }
   return out;
 }
 
-std::string RenderCellSummary(const cube::SegregationCube& cube,
+std::string RenderCellSummary(const cube::CubeView& view,
                               const cube::CubeCell& cell) {
-  std::string out = cube.LabelOf(cell.coords) + "\n";
+  std::string out = view.LabelOf(cell.coords) + "\n";
   out += "  T=" + FormatWithCommas(static_cast<int64_t>(cell.context_size)) +
          " M=" + FormatWithCommas(static_cast<int64_t>(cell.minority_size)) +
          " units=" + std::to_string(cell.num_units) + "\n";

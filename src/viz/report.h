@@ -1,5 +1,6 @@
 // Text reports: the Fig. 1-style pivot grid and top-k context listings used
-// by the examples, benches and the wizard.
+// by the examples, benches and the wizard. All renderers read a sealed,
+// immutable cube::CubeView (build -> seal -> render).
 
 #ifndef SCUBE_VIZ_REPORT_H_
 #define SCUBE_VIZ_REPORT_H_
@@ -7,7 +8,7 @@
 #include <string>
 
 #include "common/result.h"
-#include "cube/cube.h"
+#include "cube/cube_view.h"
 #include "cube/explorer.h"
 #include "query/query_result.h"
 
@@ -28,16 +29,16 @@ struct PivotSpec {
 
 /// Renders the pivot as a fixed-width text grid; absent or undefined cells
 /// show "-" (the dashes of Fig. 1).
-Result<std::string> RenderPivotTable(const cube::SegregationCube& cube,
+Result<std::string> RenderPivotTable(const cube::CubeView& view,
                                      const PivotSpec& spec);
 
 /// Renders the top-k most segregated contexts as a text table.
-std::string RenderTopContexts(const cube::SegregationCube& cube,
+std::string RenderTopContexts(const cube::CubeView& view,
                               indexes::IndexKind kind, size_t k,
                               const cube::ExplorerOptions& options);
 
 /// Renders the six indexes of one cell as "name value" lines.
-std::string RenderCellSummary(const cube::SegregationCube& cube,
+std::string RenderCellSummary(const cube::CubeView& view,
                               const cube::CubeCell& cell);
 
 /// Renders a SCubeQL answer as a fixed-width text table: subgroup,

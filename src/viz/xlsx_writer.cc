@@ -175,7 +175,7 @@ Status XlsxWriter::Save(const std::string& path) const {
   return WriteStringToFile(path, bytes.value());
 }
 
-Status WriteCubeXlsx(const cube::SegregationCube& cube,
+Status WriteCubeXlsx(const cube::CubeView& view,
                      const std::string& path) {
   XlsxWriter writer;
   auto cube_sheet = writer.AddSheet("cube");
@@ -189,17 +189,17 @@ Status WriteCubeXlsx(const cube::SegregationCube& cube,
   }
   cube_sheet.value()->AddRow(header);
 
-  for (const cube::CubeCell* cell : cube.Cells()) {
+  for (const cube::CubeCell& cell : view.Cells()) {
     std::vector<XlsxValue> row{
-        cube.catalog().LabelSet(cell->coords.sa),
-        cube.catalog().LabelSet(cell->coords.ca),
-        static_cast<int64_t>(cell->context_size),
-        static_cast<int64_t>(cell->minority_size),
-        static_cast<int64_t>(cell->num_units),
+        view.catalog().LabelSet(cell.coords.sa),
+        view.catalog().LabelSet(cell.coords.ca),
+        static_cast<int64_t>(cell.context_size),
+        static_cast<int64_t>(cell.minority_size),
+        static_cast<int64_t>(cell.num_units),
     };
     for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
-      if (cell->indexes.defined) {
-        row.emplace_back(cell->indexes[kind]);
+      if (cell.indexes.defined) {
+        row.emplace_back(cell.indexes[kind]);
       } else {
         row.emplace_back(std::string("-"));
       }
@@ -210,11 +210,11 @@ Status WriteCubeXlsx(const cube::SegregationCube& cube,
   auto summary = writer.AddSheet("summary");
   if (!summary.ok()) return summary.status();
   summary.value()->AddRow({std::string("cells"),
-                           static_cast<int64_t>(cube.NumCells())});
+                           static_cast<int64_t>(view.NumCells())});
   summary.value()->AddRow({std::string("defined cells"),
-                           static_cast<int64_t>(cube.NumDefinedCells())});
+                           static_cast<int64_t>(view.NumDefinedCells())});
   summary.value()->AddRow({std::string("organizational units"),
-                           static_cast<int64_t>(cube.unit_labels().size())});
+                           static_cast<int64_t>(view.unit_labels().size())});
   return writer.Save(path);
 }
 

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "cube/cube.h"
+#include "cube/cube_view.h"
 
 namespace scube {
 namespace viz {
@@ -67,10 +67,10 @@ class XlsxWriter {
   std::deque<Sheet> sheets_;
 };
 
-/// Exports a segregation cube as `scube.xlsx`: a "cube" sheet with one row
-/// per cell (labels, T, M, units, all six indexes) and a "summary" sheet.
-Status WriteCubeXlsx(const cube::SegregationCube& cube,
-                     const std::string& path);
+/// Exports a sealed segregation cube as `scube.xlsx`: a "cube" sheet with
+/// one row per cell (labels, T, M, units, all six indexes) and a "summary"
+/// sheet.
+Status WriteCubeXlsx(const cube::CubeView& view, const std::string& path);
 
 }  // namespace viz
 }  // namespace scube

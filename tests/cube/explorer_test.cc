@@ -40,7 +40,7 @@ Table SimpsonTable() {
   return t;
 }
 
-SegregationCube BuildFixture() {
+CubeView BuildFixture() {
   CubeBuilderOptions opts;
   opts.min_support = 1;
   opts.mode = fpm::MineMode::kAll;
@@ -48,7 +48,7 @@ SegregationCube BuildFixture() {
   opts.max_ca_items = 1;
   auto cube = BuildSegregationCube(SimpsonTable(), opts);
   EXPECT_TRUE(cube.ok()) << cube.status();
-  return std::move(cube).value();
+  return std::move(cube).value().Seal();
 }
 
 ExplorerOptions LooseFilters() {
@@ -59,7 +59,7 @@ ExplorerOptions LooseFilters() {
 }
 
 TEST(ExplorerTest, FixtureAnchors) {
-  SegregationCube cube = BuildFixture();
+  CubeView cube = BuildFixture();
   const auto& cat = cube.catalog();
   fpm::ItemId female = cat.Find(0, "F");
   fpm::ItemId north = cat.Find(1, "north");
@@ -75,7 +75,7 @@ TEST(ExplorerTest, FixtureAnchors) {
 }
 
 TEST(ExplorerTest, TopSegregatedContextsRanksRegionsFirst) {
-  SegregationCube cube = BuildFixture();
+  CubeView cube = BuildFixture();
   auto top = TopSegregatedContexts(cube, indexes::IndexKind::kDissimilarity,
                                    3, LooseFilters());
   ASSERT_GE(top.size(), 2u);
@@ -90,7 +90,7 @@ TEST(ExplorerTest, TopSegregatedContextsRanksRegionsFirst) {
 }
 
 TEST(ExplorerTest, FiltersExcludeSmallAndPureContextCells) {
-  SegregationCube cube = BuildFixture();
+  CubeView cube = BuildFixture();
   ExplorerOptions strict;
   strict.min_context_size = 1000;  // nothing passes
   auto none = TopSegregatedContexts(cube, indexes::IndexKind::kGini, 10,
@@ -106,7 +106,7 @@ TEST(ExplorerTest, FiltersExcludeSmallAndPureContextCells) {
 }
 
 TEST(ExplorerTest, DrillDownSurprisesFindMaskedContexts) {
-  SegregationCube cube = BuildFixture();
+  CubeView cube = BuildFixture();
   auto surprises = DrillDownSurprises(
       cube, indexes::IndexKind::kDissimilarity, 0.3, LooseFilters());
   // (F|north) and (F|south) jump from parent D=0 to 0.5.
@@ -120,7 +120,7 @@ TEST(ExplorerTest, DrillDownSurprisesFindMaskedContexts) {
 }
 
 TEST(ExplorerTest, GranularityReversalDetectsSimpsonMasking) {
-  SegregationCube cube = BuildFixture();
+  CubeView cube = BuildFixture();
   auto reversals = FindGranularityReversals(
       cube, indexes::IndexKind::kDissimilarity, 0.3, LooseFilters());
   // Both minority readings (gender=F and gender=M) exhibit the masking.
@@ -136,7 +136,7 @@ TEST(ExplorerTest, GranularityReversalDetectsSimpsonMasking) {
 }
 
 TEST(ExplorerTest, NoReversalWhenGapTooLarge) {
-  SegregationCube cube = BuildFixture();
+  CubeView cube = BuildFixture();
   auto reversals = FindGranularityReversals(
       cube, indexes::IndexKind::kDissimilarity, 0.9, LooseFilters());
   EXPECT_TRUE(reversals.empty());
@@ -163,25 +163,30 @@ TEST(ExplorerTest, PureContextCellsNeverServeAsSurpriseBaselines) {
   SegregationCube cube;
   cube.Insert(make_cell({}, {}, 100, 40, 0.0));  // corrupt defined root
   cube.Insert(make_cell({1}, {}, 100, 40, 0.4));
+  CubeView view = std::move(cube).Seal();
 
   auto surprises = DrillDownSurprises(
-      cube, indexes::IndexKind::kDissimilarity, 0.1, LooseFilters());
+      view, indexes::IndexKind::kDissimilarity, 0.1, LooseFilters());
   EXPECT_TRUE(surprises.empty());
 
   // Without the subgroup requirement the root is a legitimate baseline.
   ExplorerOptions allow_pure = LooseFilters();
   allow_pure.require_nonempty_sa = false;
-  surprises = DrillDownSurprises(cube, indexes::IndexKind::kDissimilarity,
+  surprises = DrillDownSurprises(view, indexes::IndexKind::kDissimilarity,
                                  0.1, allow_pure);
   ASSERT_EQ(surprises.size(), 1u);
   EXPECT_NEAR(surprises[0].delta, 0.4, 1e-9);
 }
 
 TEST(ExplorerTest, TopKTruncates) {
-  SegregationCube cube = BuildFixture();
+  CubeView cube = BuildFixture();
   auto top1 = TopSegregatedContexts(cube, indexes::IndexKind::kDissimilarity,
                                     1, LooseFilters());
   EXPECT_EQ(top1.size(), 1u);
+  // k = 0 asks for nothing, not everything.
+  auto top0 = TopSegregatedContexts(cube, indexes::IndexKind::kDissimilarity,
+                                    0, LooseFilters());
+  EXPECT_TRUE(top0.empty());
 }
 
 }  // namespace

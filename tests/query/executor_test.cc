@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cube/cube.h"
+
 #include "query/parser.h"
 #include "query/query_result.h"
 
@@ -27,7 +29,7 @@ cube::CubeCell MakeCell(std::vector<fpm::ItemId> sa,
   return cell;
 }
 
-cube::SegregationCube MakeCube() {
+cube::CubeView MakeView() {
   relational::ItemCatalog catalog;
   using relational::AttributeKind;
   catalog.GetOrAdd(0, "sex", "F", AttributeKind::kSegregation);      // id 0
@@ -45,7 +47,7 @@ cube::SegregationCube MakeCube() {
   cube.Insert(MakeCell({0}, {3}, 40, 15, 0.20));       // F | south
   cube.Insert(MakeCell({1}, {2}, 60, 18, 0.15));       // young | north
   cube.Insert(MakeCell({0, 1}, {2}, 60, 8, 0.70));     // F & young | north
-  return cube;
+  return std::move(cube).Seal();
 }
 
 QueryResult MustExecute(const Executor& executor, const std::string& text) {
@@ -57,8 +59,8 @@ QueryResult MustExecute(const Executor& executor, const std::string& text) {
 }
 
 TEST(ExecutorTest, SliceOneAxisMatchesExactCoordinates) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r = MustExecute(executor, "SLICE sa=sex=F");
   ASSERT_EQ(r.rows.size(), 3u);  // F|*, F|north, F|south in coord order
   EXPECT_EQ(r.rows[0].sa, "sex=F");
@@ -68,8 +70,8 @@ TEST(ExecutorTest, SliceOneAxisMatchesExactCoordinates) {
 }
 
 TEST(ExecutorTest, SliceBothAxesIsPointLookup) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r =
       MustExecute(executor, "SLICE sa=sex=F | ca=region=north");
   ASSERT_EQ(r.rows.size(), 1u);
@@ -83,8 +85,8 @@ TEST(ExecutorTest, SliceBothAxesIsPointLookup) {
 }
 
 TEST(ExecutorTest, DiceSelectsSubcube) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r = MustExecute(executor, "DICE sa=sex=F");
   // Every cell whose SA contains sex=F: F|*, F|north, F|south,
   // F&young|*, F&young|north.
@@ -96,8 +98,8 @@ TEST(ExecutorTest, DiceSelectsSubcube) {
 }
 
 TEST(ExecutorTest, RollupReturnsParents) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r =
       MustExecute(executor, "ROLLUP sa=sex=F & age=young | ca=region=north");
   // Parents of (F & young | north): (young|north), (F|north), (F&young|*).
@@ -105,8 +107,8 @@ TEST(ExecutorTest, RollupReturnsParents) {
 }
 
 TEST(ExecutorTest, DrilldownReturnsChildrenAndRootWorks) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r = MustExecute(executor, "DRILLDOWN sa=sex=F");
   // Children of (F|*): (F&young|*), (F|north), (F|south).
   ASSERT_EQ(r.rows.size(), 3u);
@@ -117,8 +119,8 @@ TEST(ExecutorTest, DrilldownReturnsChildrenAndRootWorks) {
 }
 
 TEST(ExecutorTest, TopKRanksAndTruncates) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r = MustExecute(
       executor, "TOPK 3 BY dissimilarity WHERE T >= 1 AND M >= 1");
   ASSERT_EQ(r.rows.size(), 3u);
@@ -133,9 +135,20 @@ TEST(ExecutorTest, TopKRanksAndTruncates) {
   }
 }
 
+TEST(ExecutorTest, TopKZeroReturnsNoRows) {
+  // The parser rejects "TOPK 0", but Query::k is a public field.
+  cube::CubeView view = MakeView();
+  Executor executor(view);
+  Query q = *Parse("TOPK 1 BY dissimilarity");
+  q.k = 0;
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
 TEST(ExecutorTest, TopKDefaultsToExplorerFloors) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   // Without WHERE, the explorer defaults (T >= 30, M >= 5) apply; every
   // fixture cell passes T, and only M >= 5 cells rank.
   QueryResult r = MustExecute(executor, "TOPK 10 BY dissimilarity");
@@ -143,8 +156,8 @@ TEST(ExecutorTest, TopKDefaultsToExplorerFloors) {
 }
 
 TEST(ExecutorTest, OrderByAndLimit) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r =
       MustExecute(executor, "DICE sa=sex=F ORDER BY T ASC LIMIT 2");
   ASSERT_EQ(r.rows.size(), 2u);
@@ -153,8 +166,8 @@ TEST(ExecutorTest, OrderByAndLimit) {
 }
 
 TEST(ExecutorTest, SurprisesComputeDeltaAgainstBestParent) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r = MustExecute(
       executor,
       "SURPRISES BY dissimilarity MINDELTA 0.15 WHERE T >= 1 AND M >= 1");
@@ -169,8 +182,8 @@ TEST(ExecutorTest, SurprisesComputeDeltaAgainstBestParent) {
 }
 
 TEST(ExecutorTest, ResolutionErrors) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
 
   auto unknown_attr = executor.Execute(*Parse("SLICE sa=hair=red"));
   ASSERT_FALSE(unknown_attr.ok());
@@ -191,8 +204,8 @@ TEST(ExecutorTest, ResolutionErrors) {
 }
 
 TEST(ExecutorTest, BatchSharedScanMatchesIndividualExecution) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   const char* texts[] = {
       "SLICE sa=sex=F",
       "DICE sa=sex=F WHERE M >= 20",
@@ -222,8 +235,8 @@ TEST(ExecutorTest, BatchSharedScanMatchesIndividualExecution) {
 }
 
 TEST(ExecutorTest, SerialisationShapes) {
-  cube::SegregationCube cube = MakeCube();
-  Executor executor(cube);
+  cube::CubeView view = MakeView();
+  Executor executor(view);
   QueryResult r = MustExecute(
       executor, "TOPK 2 BY dissimilarity WHERE T >= 1 AND M >= 1");
 

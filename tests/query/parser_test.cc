@@ -82,6 +82,19 @@ TEST(ParserTest, RollupAndDrilldownCoordsOptional) {
   EXPECT_EQ(up.ca.size(), 1u);
 }
 
+TEST(ParserTest, FromVersionPin) {
+  Query q = MustParse("TOPK 5 BY gini FROM italy@3");
+  EXPECT_EQ(q.cube, "italy");
+  ASSERT_TRUE(q.cube_version.has_value());
+  EXPECT_EQ(*q.cube_version, 3u);
+  EXPECT_EQ(Canonical(q), "TOPK 5 BY gini FROM italy@3");
+
+  // Unpinned FROM leaves the version unset (latest).
+  Query latest = MustParse("TOPK 5 BY gini FROM italy");
+  EXPECT_FALSE(latest.cube_version.has_value());
+  EXPECT_FALSE(latest == q);
+}
+
 TEST(ParserTest, DuplicateConstraintsDeduplicated) {
   Query q = MustParse("DICE sa=sex=F & sex=F");
   EXPECT_EQ(q.sa.size(), 1u);
@@ -99,6 +112,7 @@ TEST(ParserTest, CanonicalRoundTrip) {
       "SURPRISES BY isolation MINDELTA 0.2 ORDER BY M DESC",
       "REVERSALS MINGAP 0.15 FROM sectors LIMIT 4",
       "DICE ca=sector='real estate'",
+      "TOPK 3 BY gini FROM italy_2012@2",
   };
   for (const char* text : inputs) {
     Query first = MustParse(text);
@@ -145,6 +159,9 @@ TEST(ParserTest, ErrorsCarryColumnAndContext) {
       {"DICE ca=sector='real estate", "unterminated quoted value"},
       {"DRILLDOWN sa=sex=F garbage", "unexpected trailing input"},
       {"SLICE sa=sex=F ^", "unexpected character"},
+      {"TOPK 5 BY gini FROM italy@", "expected an integer for FROM version"},
+      {"TOPK 5 BY gini FROM italy@v2", "expected an integer for FROM version"},
+      {"TOPK 5 BY gini FROM italy@0", "versions start at 1"},
   };
   for (const ErrorCase& c : cases) {
     auto q = Parse(c.text);

@@ -107,6 +107,41 @@ TEST(QueryServiceTest, PublishingInvalidatesByVersion) {
       0.9);
 }
 
+TEST(QueryServiceTest, FromVersionPinServesRetainedVersions) {
+  CubeStore store(/*max_versions=*/2);
+  store.Publish("default", MakeCube(0.5));  // v1
+  store.Publish("default", MakeCube(0.9));  // v2
+  QueryService service(&store, ServiceOptions{});
+
+  // Pinned to v1: the pre-update value, even though v2 is latest.
+  auto v1 = service.ExecuteOne("SLICE sa=sex=F | ca=region=north FROM default@1");
+  ASSERT_TRUE(v1.status.ok()) << v1.status;
+  EXPECT_EQ(v1.cube_version, 1u);
+  ASSERT_EQ(v1.result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(v1.result.rows[0].indexes[static_cast<size_t>(
+                       indexes::IndexKind::kDissimilarity)],
+                   0.5);
+
+  // Unpinned: the latest version answers.
+  auto latest = service.ExecuteOne("SLICE sa=sex=F | ca=region=north");
+  ASSERT_TRUE(latest.status.ok());
+  EXPECT_EQ(latest.cube_version, 2u);
+  EXPECT_DOUBLE_EQ(latest.result.rows[0].indexes[static_cast<size_t>(
+                       indexes::IndexKind::kDissimilarity)],
+                   0.9);
+
+  // Publishing a third version evicts v1 (K = 2): the pin now fails.
+  store.Publish("default", MakeCube(0.7));  // v3, retained {2, 3}
+  auto evicted =
+      service.ExecuteOne("SLICE sa=sex=F | ca=region=north FROM default@1");
+  EXPECT_EQ(evicted.status.code(), StatusCode::kNotFound);
+  EXPECT_NE(evicted.status.message().find("evicted or never published"),
+            std::string::npos);
+  auto unknown =
+      service.ExecuteOne("TOPK 1 BY gini FROM default@99");
+  EXPECT_EQ(unknown.status.code(), StatusCode::kNotFound);
+}
+
 TEST(QueryServiceTest, BatchFansOutAcrossWorkersAndCubes) {
   CubeStore store;
   store.Publish("default", MakeCube(0.5));

@@ -36,6 +36,38 @@ TEST(CubeStoreTest, PublishGetVersion) {
   EXPECT_EQ(store.Names(), (std::vector<std::string>{"estonia", "italy"}));
 }
 
+TEST(CubeStoreTest, GetVersionServesRetainedVersionsOnly) {
+  CubeStore store(/*max_versions=*/2);
+  store.Publish("c", CubeWithCells(3));  // v1
+  store.Publish("c", CubeWithCells(4));  // v2
+  store.Publish("c", CubeWithCells(5));  // v3 -> v1 evicted
+
+  EXPECT_EQ(store.RetainedVersions("c"), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(store.GetVersion("c", 1), nullptr);  // evicted
+  ASSERT_NE(store.GetVersion("c", 2), nullptr);
+  EXPECT_EQ(store.GetVersion("c", 2)->NumCells(), 4u);
+  ASSERT_NE(store.GetVersion("c", 3), nullptr);
+  EXPECT_EQ(store.GetVersion("c", 3)->NumCells(), 5u);
+  EXPECT_EQ(store.GetVersion("c", 4), nullptr);   // never published
+  EXPECT_EQ(store.GetVersion("d", 1), nullptr);   // unknown cube
+  EXPECT_TRUE(store.RetainedVersions("d").empty());
+
+  // The latest snapshot is unaffected by eviction of older versions.
+  uint64_t version = 0;
+  ASSERT_NE(store.Get("c", &version), nullptr);
+  EXPECT_EQ(version, 3u);
+}
+
+TEST(CubeStoreTest, EvictedSnapshotsStayAliveForHolders) {
+  CubeStore store(/*max_versions=*/1);
+  store.Publish("c", CubeWithCells(3));
+  CubeStore::Snapshot held = store.GetVersion("c", 1);
+  ASSERT_NE(held, nullptr);
+  store.Publish("c", CubeWithCells(9));  // evicts v1 from the store
+  EXPECT_EQ(store.GetVersion("c", 1), nullptr);
+  EXPECT_EQ(held->NumCells(), 3u);  // reader's snapshot is untouched
+}
+
 TEST(CubeStoreTest, SnapshotsSurvivePublishes) {
   CubeStore store;
   store.Publish("c", CubeWithCells(3));

@@ -142,20 +142,21 @@ TEST(IntegrationTest, CsvToDiscoveryEndToEnd) {
   EXPECT_EQ(edu_cell->context_size, edu_cell->minority_size);
   EXPECT_FALSE(edu_cell->indexes.defined);
 
-  // Exploration: the female cell ranks at the top globally.
+  // Seal and explore: the female cell ranks at the top globally.
+  cube::CubeView view = cube.Seal();
   cube::ExplorerOptions explore;
   explore.min_context_size = 5;
   explore.min_minority_size = 2;
   auto top = cube::TopSegregatedContexts(
-      cube, indexes::IndexKind::kDissimilarity, 3, explore);
+      view, indexes::IndexKind::kDissimilarity, 3, explore);
   ASSERT_FALSE(top.empty());
   EXPECT_NEAR(top[0].value, 1.0, 0.3);
 
   // Exports parse/serialise without error.
-  std::string csv = cube.ToCsv();
+  std::string csv = view.ToCsv();
   EXPECT_NE(csv.find("gender=F"), std::string::npos);
   std::string path = ::testing::TempDir() + "/scube_integration.xlsx";
-  ASSERT_TRUE(viz::WriteCubeXlsx(cube, path).ok());
+  ASSERT_TRUE(viz::WriteCubeXlsx(view, path).ok());
   auto bytes = ReadFileToString(path);
   ASSERT_TRUE(bytes.ok());
   EXPECT_EQ(bytes->substr(0, 2), "PK");
@@ -165,7 +166,7 @@ TEST(IntegrationTest, CsvToDiscoveryEndToEnd) {
   viz::PivotSpec pivot;
   pivot.sa_attribute = "gender";
   pivot.ca_attribute = "sector";
-  auto grid = viz::RenderPivotTable(cube, pivot);
+  auto grid = viz::RenderPivotTable(view, pivot);
   ASSERT_TRUE(grid.ok());
   EXPECT_NE(grid->find("-"), std::string::npos);
 }

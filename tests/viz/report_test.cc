@@ -13,7 +13,7 @@ using relational::ColumnType;
 using relational::Schema;
 using relational::Table;
 
-cube::SegregationCube Fig1StyleCube() {
+cube::CubeView Fig1StyleCube() {
   Schema schema({
       {"sex", ColumnType::kCategorical, AttributeKind::kSegregation},
       {"age", ColumnType::kCategorical, AttributeKind::kSegregation},
@@ -38,11 +38,11 @@ cube::SegregationCube Fig1StyleCube() {
   opts.max_ca_items = 1;
   auto cube = cube::BuildSegregationCube(t, opts);
   EXPECT_TRUE(cube.ok()) << cube.status();
-  return std::move(cube).value();
+  return std::move(cube).value().Seal();
 }
 
 TEST(PivotTableTest, Fig1StyleGrid) {
-  cube::SegregationCube cube = Fig1StyleCube();
+  cube::CubeView cube = Fig1StyleCube();
   PivotSpec spec;
   spec.sa_attribute = "sex";
   spec.ca_attribute = "region";
@@ -66,7 +66,7 @@ TEST(PivotTableTest, Fig1StyleGrid) {
 }
 
 TEST(PivotTableTest, FixedCoordinateSlab) {
-  cube::SegregationCube cube = Fig1StyleCube();
+  cube::CubeView cube = Fig1StyleCube();
   const auto& cat = cube.catalog();
   fpm::ItemId young = cat.Find(1, "young");
   ASSERT_NE(young, fpm::kInvalidItem);
@@ -81,7 +81,7 @@ TEST(PivotTableTest, FixedCoordinateSlab) {
 }
 
 TEST(PivotTableTest, UnknownAttributesRejected) {
-  cube::SegregationCube cube = Fig1StyleCube();
+  cube::CubeView cube = Fig1StyleCube();
   PivotSpec spec;
   spec.sa_attribute = "nope";
   spec.ca_attribute = "region";
@@ -94,7 +94,7 @@ TEST(PivotTableTest, UnknownAttributesRejected) {
 }
 
 TEST(TopContextsTest, RendersRankedRows) {
-  cube::SegregationCube cube = Fig1StyleCube();
+  cube::CubeView cube = Fig1StyleCube();
   cube::ExplorerOptions opts;
   opts.min_context_size = 1;
   opts.min_minority_size = 1;
@@ -108,7 +108,7 @@ TEST(TopContextsTest, RendersRankedRows) {
 }
 
 TEST(CellSummaryTest, RendersAllSixIndexes) {
-  cube::SegregationCube cube = Fig1StyleCube();
+  cube::CubeView cube = Fig1StyleCube();
   const auto& cat = cube.catalog();
   fpm::ItemId female = cat.Find(0, "female");
   const cube::CubeCell* cell = cube.Find(fpm::Itemset({female}),
@@ -124,7 +124,7 @@ TEST(CellSummaryTest, RendersAllSixIndexes) {
 }
 
 TEST(CellSummaryTest, UndefinedCellExplained) {
-  cube::SegregationCube cube = Fig1StyleCube();
+  cube::CubeView cube = Fig1StyleCube();
   const cube::CubeCell* root = cube.Find(fpm::Itemset(), fpm::Itemset());
   ASSERT_NE(root, nullptr);
   std::string text = RenderCellSummary(cube, *root);

@@ -100,7 +100,7 @@ TEST(WriteCubeXlsxTest, ProducesFileFromRealCube) {
   ASSERT_TRUE(built.ok());
 
   std::string path = ::testing::TempDir() + "/scube_test.xlsx";
-  ASSERT_TRUE(WriteCubeXlsx(built.value(), path).ok());
+  ASSERT_TRUE(WriteCubeXlsx(std::move(built).value().Seal(), path).ok());
   auto content = ReadFileToString(path);
   ASSERT_TRUE(content.ok());
   EXPECT_EQ(content->substr(0, 2), "PK");
