@@ -1,0 +1,355 @@
+// bench_server: loopback load against the scubed serving front-end.
+//
+// Three phases over the demo cube, all through real HTTP on 127.0.0.1:
+//   1. closed loop   N keep-alive clients, back-to-back requests ->
+//                    sustained qps, p50/p99 latency (the capacity probe)
+//   2. open loop 2x  requests offered at twice the measured capacity ->
+//                    shed rate (503s), p99 of *accepted* requests, which
+//                    stays bounded by the deadline instead of queueing
+//   3. publish       a new cube version is published mid-load with
+//                    cache warming -> cache hit rate before/after, and
+//                    every response stays well-formed
+//
+// Run:  ./bench_server [--quick] [--scale S] [--workers N] [--seconds T]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/scenarios.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "query/cube_store.h"
+#include "query/service.h"
+#include "scube/pipeline.h"
+#include "server/server.h"
+
+using namespace scube;
+
+namespace {
+
+struct LoadResult {
+  uint64_t ok = 0;        ///< HTTP 200
+  uint64_t shed = 0;      ///< HTTP 503
+  uint64_t expired = 0;   ///< body contained a DeadlineExceeded code
+  uint64_t errors = 0;    ///< transport or unexpected status
+  std::vector<double> latencies_ms;  ///< of HTTP-200 responses
+  double seconds = 0;
+
+  double Qps() const {
+    return seconds > 0 ? static_cast<double>(ok) / seconds : 0;
+  }
+  void Merge(const LoadResult& other) {
+    ok += other.ok;
+    shed += other.shed;
+    expired += other.expired;
+    errors += other.errors;
+    latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
+                        other.latencies_ms.end());
+  }
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0;
+  std::sort(values->begin(), values->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values->size()));
+  if (idx >= values->size()) idx = values->size() - 1;
+  return (*values)[idx];
+}
+
+const std::vector<std::string>& QueryMix() {
+  static const std::vector<std::string> mix = {
+      "TOPK 5 BY dissimilarity WHERE T >= 30",
+      "SLICE sa=gender=F",
+      "DICE sa=gender=F WHERE T >= 50",
+      "DRILLDOWN sa=gender=F",
+      "TOPK 3 BY gini",
+      "SURPRISES BY dissimilarity MINDELTA 0.05 LIMIT 5",
+      "ROLLUP sa=gender=F | ca=residence_region=north",
+      "TOPK 5 BY dissimilarity WHERE T >= 30",  // repeat: cache food
+  };
+  return mix;
+}
+
+/// Cache-busting variant stream: distinct canonical texts, so every
+/// request costs real executor work instead of a cache hit. Every 16th
+/// is a SURPRISES scan to keep the workers honestly busy.
+std::string CacheBustQuery(size_t n) {
+  if (n % 16 == 0) {
+    return "SURPRISES BY dissimilarity MINDELTA 0." +
+           std::to_string(10 + n % 80) + " LIMIT 5";
+  }
+  return "TOPK 5 BY dissimilarity WHERE T >= " +
+         std::to_string(30 + n % 997) + " AND M >= " +
+         std::to_string(1 + n % 13);
+}
+
+/// One client worker: issues requests until the deadline; `pace_s` > 0
+/// turns the closed loop into an open loop with that inter-send gap.
+LoadResult RunClient(uint16_t port, double seconds, double pace_s,
+                     size_t offset, bool cache_bust) {
+  LoadResult out;
+  auto connected = net::Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    out.errors = 1;
+    return out;
+  }
+  net::Socket socket = std::move(connected).value();
+  socket.SetNoDelay();
+  net::BufferedReader reader(&socket);
+
+  const auto& mix = QueryMix();
+  WallTimer total;
+  size_t i = offset;
+  auto next_send = std::chrono::steady_clock::now();
+  while (total.Seconds() < seconds) {
+    if (pace_s > 0) {
+      std::this_thread::sleep_until(next_send);
+      next_send += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(pace_s));
+    }
+    const std::string query =
+        cache_bust ? CacheBustQuery(i++ * 131 + offset)
+                   : mix[i++ % mix.size()];
+    WallTimer latency;
+    auto resp = net::RoundTrip(&socket, &reader, "POST", "/query", query);
+    if (!resp.ok()) {
+      // The server may close a kept-alive connection during shutdown or
+      // shedding; reconnect once and retry the slot.
+      auto again = net::Connect("127.0.0.1", port);
+      if (!again.ok()) {
+        ++out.errors;
+        break;
+      }
+      socket = std::move(again).value();
+      socket.SetNoDelay();
+      reader = net::BufferedReader(&socket);
+      continue;
+    }
+    if (resp->status == 200) {
+      ++out.ok;
+      out.latencies_ms.push_back(latency.Millis());
+      if (resp->body.find("\"DeadlineExceeded\"") != std::string::npos) {
+        ++out.expired;
+      }
+    } else if (resp->status == 503) {
+      ++out.shed;
+    } else {
+      ++out.errors;
+    }
+  }
+  out.seconds = total.Seconds();
+  return out;
+}
+
+LoadResult RunLoad(uint16_t port, size_t clients, double seconds,
+                   double offered_qps, bool cache_bust = false) {
+  std::vector<LoadResult> results(clients);
+  std::vector<std::thread> threads;
+  double pace_s =
+      offered_qps > 0 ? static_cast<double>(clients) / offered_qps : 0;
+  WallTimer timer;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      results[c] = RunClient(port, seconds, pace_s, c, cache_bust);
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult merged;
+  for (auto& r : results) merged.Merge(r);
+  merged.seconds = timer.Seconds();
+  return merged;
+}
+
+cube::SegregationCube BuildDemoCube(double scale, uint32_t seed_offset) {
+  auto scenario = datagen::GenerateScenario(datagen::ItalianConfig(scale));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario.status().ToString().c_str());
+    std::exit(1);
+  }
+  pipeline::PipelineConfig config;
+  config.unit_source = pipeline::UnitSource::kGroupClusters;
+  config.method = pipeline::ClusterMethod::kThreshold;
+  config.threshold.min_weight = 2.0;
+  config.cube.min_support = 20 + seed_offset;  // v2 differs slightly
+  config.cube.mode = fpm::MineMode::kClosed;
+  config.cube.max_sa_items = 2;
+  config.cube.max_ca_items = 1;
+  auto result = pipeline::RunPipeline(scenario->inputs, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result->cube);
+}
+
+double HitRate(const query::ResultCache::Stats& stats) {
+  uint64_t total = stats.hits + stats.misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(stats.hits) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.002;
+  double seconds = 3.0;
+  size_t clients = 4;
+  size_t workers = 4;
+  double deadline_ms = 250;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (quick) {
+    seconds = 0.6;
+    clients = 2;
+    scale = 0.0015;
+  }
+
+  std::printf("building demo cubes (scale %g)...\n", scale);
+  cube::SegregationCube cube_v1 = BuildDemoCube(scale, 0);
+  cube::SegregationCube cube_v2 = BuildDemoCube(scale, 1);
+
+  query::CubeStore store;
+  query::ServiceOptions service_options;
+  service_options.num_workers = workers;
+  service_options.cache_capacity = 512;
+  service_options.max_pending = 2 * workers;  // shallow: bounded latency
+  service_options.default_deadline_ms = deadline_ms;
+  service_options.warm_top_n = 8;
+  query::QueryService service(&store, service_options);
+  service.PublishAndWarm("default", std::move(cube_v1));
+
+  server::ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  server_options.loopback_only = true;
+  // Connection capacity must exceed worker + queue capacity, so that
+  // query-level admission (not the connection pool) is what saturates.
+  server_options.num_connection_threads = clients * 16;
+  server_options.max_queued_connections = clients * 16;
+  server::ScubedServer server(&service, &store, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("scubed on 127.0.0.1:%u — %zu workers, queue bound %zu, "
+              "deadline %.0f ms\n\n",
+              server.port(), workers, service_options.max_pending,
+              deadline_ms);
+
+  // --- phase 1: closed loop (hot mix, then cache-busting capacity probe) --
+  std::printf("[closed loop, hot mix] %zu clients, %.1f s\n", clients,
+              seconds);
+  LoadResult hot = RunLoad(server.port(), clients, seconds, 0);
+  std::printf("  %llu ok, %llu shed, %llu errors | %.0f qps | "
+              "p50 %.2f ms, p99 %.2f ms (cache-served)\n",
+              static_cast<unsigned long long>(hot.ok),
+              static_cast<unsigned long long>(hot.shed),
+              static_cast<unsigned long long>(hot.errors), hot.Qps(),
+              Percentile(&hot.latencies_ms, 0.50),
+              Percentile(&hot.latencies_ms, 0.99));
+
+  // The capacity probe must *saturate* the workers, not measure one
+  // connection's round-trip latency: enough concurrent closed-loop
+  // clients that the service rate, not the RTT, is the limit.
+  size_t probe_clients = clients * 8;
+  std::printf("[closed loop, cache-busting] %zu clients, %.1f s\n",
+              probe_clients, seconds);
+  LoadResult closed = RunLoad(server.port(), probe_clients, seconds, 0,
+                              /*cache_bust=*/true);
+  double capacity = closed.Qps();
+  std::printf("  %llu ok, %llu shed, %llu errors | %.0f qps sustained | "
+              "p50 %.2f ms, p99 %.2f ms (executed)\n\n",
+              static_cast<unsigned long long>(closed.ok),
+              static_cast<unsigned long long>(closed.shed),
+              static_cast<unsigned long long>(closed.errors), capacity,
+              Percentile(&closed.latencies_ms, 0.50),
+              Percentile(&closed.latencies_ms, 0.99));
+
+  // --- phase 2: open loop at 2x capacity ----------------------------------
+  double offered = 2.0 * capacity;
+  size_t open_clients = clients * 16;  // enough senders to hold the rate
+  std::printf("[open loop] offering %.0f qps (2x sustained capacity), "
+              "%zu senders, %.1f s\n", offered, open_clients, seconds);
+  LoadResult open = RunLoad(server.port(), open_clients, seconds, offered,
+                            /*cache_bust=*/true);
+  uint64_t answered = open.ok + open.shed;
+  double shed_rate = answered == 0
+                         ? 0.0
+                         : static_cast<double>(open.shed) /
+                               static_cast<double>(answered);
+  double open_p99 = Percentile(&open.latencies_ms, 0.99);
+  std::printf("  %llu ok, %llu shed (%.0f%%), %llu deadline-expired, "
+              "%llu errors\n",
+              static_cast<unsigned long long>(open.ok),
+              static_cast<unsigned long long>(open.shed), 100 * shed_rate,
+              static_cast<unsigned long long>(open.expired),
+              static_cast<unsigned long long>(open.errors));
+  std::printf("  accepted p99 %.2f ms (deadline %.0f ms): overload sheds "
+              "with 503 instead of queueing unboundedly\n\n",
+              open_p99, deadline_ms);
+
+  // --- phase 3: publish + warm during load --------------------------------
+  std::printf("[publish during load] publishing v2 mid-load with cache "
+              "warming\n");
+  auto before_stats = service.cache_stats();
+  std::atomic<bool> publish_done{false};
+  query::QueryService::PublishInfo publish_info;
+  std::thread publisher([&] {
+    // Let the load warm the cache first, then publish.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * 0.4));
+    publish_info = service.PublishAndWarm("default", std::move(cube_v2));
+    publish_done.store(true);
+  });
+  LoadResult publish_load =
+      RunLoad(server.port(), clients, seconds, capacity * 0.8);
+  publisher.join();
+  auto after_stats = service.cache_stats();
+  query::ResultCache::Stats window;
+  window.hits = after_stats.hits - before_stats.hits;
+  window.misses = after_stats.misses - before_stats.misses;
+  std::printf("  published v%llu, warmed %zu entries | load: %llu ok, "
+              "%llu errors | window hit rate %.0f%%\n",
+              static_cast<unsigned long long>(publish_info.version),
+              publish_info.warmed,
+              static_cast<unsigned long long>(publish_load.ok),
+              static_cast<unsigned long long>(publish_load.errors),
+              100 * HitRate(window));
+  bool warmed_ok = publish_info.version == 2 && publish_info.warmed > 0;
+  std::printf("  cache warming %s: the hottest texts were re-executed "
+              "against v2 at publish time\n\n",
+              warmed_ok ? "worked" : "FAILED");
+
+  server.Stop();
+  service.Shutdown();
+
+  bool ok = closed.ok > 0 && closed.errors == 0 && warmed_ok &&
+            publish_load.ok > 0;
+  std::printf("bench_server %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

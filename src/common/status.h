@@ -25,6 +25,8 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  kUnavailable,        ///< transient overload: retry later (admission shed)
+  kDeadlineExceeded,   ///< the caller's deadline passed before completion
 };
 
 /// Returns a stable human-readable name for a status code, e.g. "IOError".
@@ -71,6 +73,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

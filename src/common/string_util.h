@@ -38,6 +38,15 @@ std::string FormatDouble(double v, int digits);
 /// Formats with thousands separators: 3600000 -> "3,600,000".
 std::string FormatWithCommas(int64_t v);
 
+/// Escapes `s` for embedding inside a JSON string literal (RFC 8259):
+/// quote, backslash, and the C0 control characters. Bytes >= 0x20 other
+/// than `"` and `\` pass through untouched, so UTF-8 survives verbatim.
+/// Does NOT add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+/// `JsonEscape` wrapped in double quotes: a complete JSON string token.
+std::string JsonQuote(std::string_view s);
+
 }  // namespace scube
 
 #endif  // SCUBE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,333 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace scube {
+namespace net {
+
+namespace {
+
+constexpr size_t kReadChunk = 16 * 1024;
+constexpr size_t kMaxHeaderLines = 128;
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status BufferedReader::Fill() {
+  if (eof_) return Status::OK();
+  // Compact the consumed prefix before growing the buffer.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  size_t old = buf_.size();
+  buf_.resize(old + kReadChunk);
+  auto got = socket_->Read(buf_.data() + old, kReadChunk);
+  if (!got.ok()) {
+    buf_.resize(old);
+    return got.status();
+  }
+  buf_.resize(old + *got);
+  if (*got == 0) eof_ = true;
+  return Status::OK();
+}
+
+Result<std::string> BufferedReader::ReadLine(size_t max_len) {
+  while (true) {
+    size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buf_.size() - pos_ > max_len) {
+      return Status::IoError("line exceeds " + std::to_string(max_len) +
+                             " bytes");
+    }
+    if (eof_) {
+      if (pos_ < buf_.size()) {
+        // Final unterminated line.
+        std::string line = buf_.substr(pos_);
+        pos_ = buf_.size();
+        return line;
+      }
+      return Status::IoError("connection closed");
+    }
+    SCUBE_RETURN_IF_ERROR(Fill());
+  }
+}
+
+Status BufferedReader::ReadExact(size_t n, std::string* out) {
+  while (buf_.size() - pos_ < n) {
+    if (eof_) {
+      return Status::IoError("connection closed mid-body (" +
+                             std::to_string(buf_.size() - pos_) + " of " +
+                             std::to_string(n) + " bytes)");
+    }
+    SCUBE_RETURN_IF_ERROR(Fill());
+  }
+  out->assign(buf_, pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+bool BufferedReader::AtEof() {
+  while (pos_ >= buf_.size() && !eof_) {
+    if (!Fill().ok()) return true;
+  }
+  return pos_ >= buf_.size() && eof_;
+}
+
+const std::string& HttpRequest::Header(const std::string& lower_name) const {
+  static const std::string kEmpty;
+  auto it = headers.find(lower_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+std::string HttpRequest::Param(const std::string& name,
+                               const std::string& fallback) const {
+  auto it = params.find(name);
+  return it == params.end() ? fallback : it->second;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+bool SniffsAsHttp(std::string_view first_line) {
+  // METHOD SP target SP HTTP/1.x — enough to separate curl from a client
+  // typing SCubeQL directly.
+  size_t sp1 = first_line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  size_t sp2 = first_line.rfind(' ');
+  if (sp2 == sp1) return false;
+  return IsToken(first_line.substr(0, sp1)) &&
+         first_line.substr(sp2 + 1).rfind("HTTP/1.", 0) == 0;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        return (std::tolower(static_cast<unsigned char>(h)) - 'a') + 10;
+      };
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void ParseTarget(std::string_view target, std::string* path,
+                 std::map<std::string, std::string>* params) {
+  size_t q = target.find('?');
+  *path = UrlDecode(target.substr(0, q));
+  params->clear();
+  if (q == std::string_view::npos) return;
+  std::string_view rest = target.substr(q + 1);
+  while (!rest.empty()) {
+    size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      (*params)[UrlDecode(pair)] = "";
+    } else {
+      (*params)[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+}
+
+Result<HttpRequest> ReadHttpRequest(BufferedReader* reader,
+                                    const std::string& request_line,
+                                    size_t max_body) {
+  HttpRequest req;
+
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return Status::ParseError("malformed request line: " + request_line);
+  }
+  req.method = request_line.substr(0, sp1);
+  std::transform(req.method.begin(), req.method.end(), req.method.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string version = request_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    return Status::ParseError("unsupported protocol: " + version);
+  }
+  // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+  req.keep_alive = version != "HTTP/1.0";
+  ParseTarget(req.target, &req.path, &req.params);
+
+  bool headers_done = false;
+  for (size_t i = 0; i < kMaxHeaderLines; ++i) {
+    auto line = reader->ReadLine();
+    if (!line.ok()) return line.status();
+    if (line->empty()) {
+      headers_done = true;
+      break;
+    }
+    size_t colon = line->find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("malformed header: " + *line);
+    }
+    std::string name = ToLower(Trim(std::string_view(*line).substr(0, colon)));
+    std::string value(Trim(std::string_view(*line).substr(colon + 1)));
+    req.headers[name] = std::move(value);
+  }
+  if (!headers_done) {
+    // Failing (rather than silently truncating) keeps the connection from
+    // desyncing: leftover header bytes would otherwise be read as body.
+    return Status::ParseError("more than " +
+                              std::to_string(kMaxHeaderLines) + " headers");
+  }
+
+  const std::string& connection = req.Header("connection");
+  if (!connection.empty()) {
+    std::string lower = ToLower(connection);
+    if (lower.find("close") != std::string::npos) req.keep_alive = false;
+    if (lower.find("keep-alive") != std::string::npos) req.keep_alive = true;
+  }
+
+  const std::string& length = req.Header("content-length");
+  if (!length.empty()) {
+    auto n = ParseInt64(length);
+    if (!n.ok() || *n < 0) {
+      return Status::ParseError("bad Content-Length: " + length);
+    }
+    if (static_cast<size_t>(*n) > max_body) {
+      return Status::InvalidArgument("request body of " + length +
+                                     " bytes exceeds the limit of " +
+                                     std::to_string(max_body));
+    }
+    SCUBE_RETURN_IF_ERROR(reader->ReadExact(static_cast<size_t>(*n),
+                                            &req.body));
+  } else if (!req.Header("transfer-encoding").empty()) {
+    return Status::Unimplemented("chunked transfer encoding not supported");
+  }
+  return req;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+Result<HttpClientResponse> ReadHttpResponse(BufferedReader* reader) {
+  HttpClientResponse resp;
+  auto status_line = reader->ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  // "HTTP/1.1 200 OK"
+  size_t sp1 = status_line->find(' ');
+  if (sp1 == std::string::npos ||
+      status_line->rfind("HTTP/", 0) != 0) {
+    return Status::ParseError("malformed status line: " + *status_line);
+  }
+  auto code = ParseInt64(
+      std::string_view(*status_line).substr(sp1 + 1, 3));
+  if (!code.ok()) {
+    return Status::ParseError("malformed status line: " + *status_line);
+  }
+  resp.status = static_cast<int>(*code);
+
+  bool have_length = false;
+  size_t length = 0;
+  for (size_t i = 0; i < kMaxHeaderLines; ++i) {
+    auto line = reader->ReadLine();
+    if (!line.ok()) return line.status();
+    if (line->empty()) break;
+    size_t colon = line->find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(Trim(std::string_view(*line).substr(0, colon)));
+    std::string value(Trim(std::string_view(*line).substr(colon + 1)));
+    if (name == "content-length") {
+      auto n = ParseInt64(value);
+      if (n.ok() && *n >= 0) {
+        have_length = true;
+        length = static_cast<size_t>(*n);
+      }
+    }
+    resp.headers[name] = std::move(value);
+  }
+
+  if (have_length) {
+    SCUBE_RETURN_IF_ERROR(reader->ReadExact(length, &resp.body));
+  } else {
+    // Read to EOF (Connection: close responses).
+    std::string chunk;
+    while (!reader->AtEof()) {
+      auto line = reader->ReadLine();
+      if (!line.ok()) break;
+      resp.body += *line;
+      resp.body += '\n';
+    }
+  }
+  return resp;
+}
+
+Result<HttpClientResponse> RoundTrip(Socket* socket, BufferedReader* reader,
+                                     const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     const std::string& content_type) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: localhost\r\n";
+  request += "Content-Type: " + content_type + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: keep-alive\r\n\r\n";
+  request += body;
+  SCUBE_RETURN_IF_ERROR(socket->WriteAll(request));
+  return ReadHttpResponse(reader);
+}
+
+}  // namespace net
+}  // namespace scube

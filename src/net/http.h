@@ -1,0 +1,133 @@
+// Minimal HTTP/1.1 for the scubed front-end: blocking request/response
+// parsing over a buffered socket reader, keep-alive handling, and target
+// (path + query-parameter) decoding. Deliberately small: no chunked
+// transfer encoding (411 when a body has no Content-Length), no TLS, no
+// multipart — scubed speaks plain HTTP to load balancers, curl and the
+// bench/test clients in this repo.
+//
+// The same BufferedReader drives the newline-delimited line protocol:
+// SniffsAsHttp() looks at the first line to pick the dialect.
+
+#ifndef SCUBE_NET_HTTP_H_
+#define SCUBE_NET_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace scube {
+namespace net {
+
+/// \brief Buffered line/byte reader over a blocking socket.
+class BufferedReader {
+ public:
+  explicit BufferedReader(Socket* socket) : socket_(socket) {}
+
+  /// Reads one line up to and including '\n', stripping "\r\n" / "\n".
+  /// IoError on EOF before any byte, on a line longer than `max_len`, or
+  /// on socket error/timeout.
+  Result<std::string> ReadLine(size_t max_len = 64 * 1024);
+
+  /// Reads exactly `n` bytes into `out`.
+  Status ReadExact(size_t n, std::string* out);
+
+  /// True once the peer closed and the buffer is drained (peeks one byte).
+  bool AtEof();
+
+ private:
+  Status Fill();  ///< one recv into the buffer
+
+  Socket* socket_;
+  std::string buf_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// \brief One parsed HTTP/1.1 request.
+struct HttpRequest {
+  std::string method;  ///< upper-case, e.g. "GET"
+  std::string target;  ///< raw request target, e.g. "/query?format=csv"
+  std::string path;    ///< decoded path component, e.g. "/query"
+  std::map<std::string, std::string> params;   ///< decoded query parameters
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+  bool keep_alive = true;  ///< HTTP/1.1 default unless "Connection: close"
+
+  /// Case-insensitive header lookup; "" when absent.
+  const std::string& Header(const std::string& lower_name) const;
+
+  /// Query parameter lookup with default.
+  std::string Param(const std::string& name,
+                    const std::string& fallback = "") const;
+};
+
+/// \brief One HTTP response under construction.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  std::string content_type = "application/json";
+
+  HttpResponse() = default;
+  HttpResponse(int status_code, std::string body_text)
+      : status(status_code), body(std::move(body_text)) {}
+
+  void SetHeader(const std::string& name, const std::string& value) {
+    headers.emplace_back(name, value);
+  }
+};
+
+/// The standard reason phrase for a status code ("OK", "Not Found", ...).
+const char* StatusReason(int status);
+
+/// True when `first_line` looks like an HTTP request line (METHOD SP ...
+/// SP HTTP/1.x) — the dialect sniff between HTTP and the line protocol.
+bool SniffsAsHttp(std::string_view first_line);
+
+/// Parses the request whose request line was already consumed, reading
+/// headers and body from `reader`. Limits: `max_body` bytes (413 beyond).
+Result<HttpRequest> ReadHttpRequest(BufferedReader* reader,
+                                    const std::string& request_line,
+                                    size_t max_body = 4 * 1024 * 1024);
+
+/// Serialises a response with Content-Length and Connection headers.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Splits a request target into decoded path + query parameters.
+void ParseTarget(std::string_view target, std::string* path,
+                 std::map<std::string, std::string>* params);
+
+/// Percent-decoding ('+' becomes a space, bad escapes pass through).
+std::string UrlDecode(std::string_view s);
+
+/// \brief Parsed HTTP response (the client side, for benches and tests).
+struct HttpClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+};
+
+/// Reads one full response from `reader` (status line, headers, body by
+/// Content-Length; bodies without one read to EOF).
+Result<HttpClientResponse> ReadHttpResponse(BufferedReader* reader);
+
+/// One-shot client helper: sends `method target` with `body` over an open
+/// connection and reads the response. Sets Content-Length; keeps the
+/// connection reusable (keep-alive).
+Result<HttpClientResponse> RoundTrip(Socket* socket, BufferedReader* reader,
+                                     const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body = "",
+                                     const std::string& content_type =
+                                         "text/plain");
+
+}  // namespace net
+}  // namespace scube
+
+#endif  // SCUBE_NET_HTTP_H_

@@ -1,0 +1,52 @@
+// QueryContext: per-request execution constraints carried alongside a
+// SCubeQL batch. Today that is one thing — a deadline. The service applies
+// its configured default when a request carries none; the executor checks
+// the deadline cooperatively at batch-statement boundaries (and periodically
+// inside the shared analytic scan), so an expired query returns
+// DeadlineExceeded instead of burning a worker to completion.
+
+#ifndef SCUBE_QUERY_CONTEXT_H_
+#define SCUBE_QUERY_CONTEXT_H_
+
+#include <chrono>
+#include <limits>
+#include <optional>
+
+namespace scube {
+namespace query {
+
+/// \brief Deadline (and future per-request knobs) for one query batch.
+/// Cheap to copy; an empty context imposes no constraints.
+struct QueryContext {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute deadline; unset = unbounded.
+  std::optional<Clock::time_point> deadline;
+
+  /// A context whose deadline is `ms` milliseconds from now. Non-positive
+  /// `ms` yields an already-expired context (useful in tests).
+  static QueryContext WithTimeout(double ms) {
+    QueryContext ctx;
+    ctx.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(ms));
+    return ctx;
+  }
+
+  bool has_deadline() const { return deadline.has_value(); }
+
+  /// True once the deadline has passed. Never true without a deadline.
+  bool Expired() const { return deadline && Clock::now() >= *deadline; }
+
+  /// Milliseconds until expiry; negative once expired, +infinity when
+  /// unbounded.
+  double RemainingMillis() const {
+    if (!deadline) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(*deadline - Clock::now())
+        .count();
+  }
+};
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_CONTEXT_H_

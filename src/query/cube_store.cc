@@ -92,8 +92,9 @@ std::optional<QueryResult> ResultCache::Get(
     return std::nullopt;
   }
   ++stats_.hits;
+  ++it->second->hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->result;
 }
 
 void ResultCache::Put(const std::string& cube, uint64_t version,
@@ -104,17 +105,49 @@ void ResultCache::Put(const std::string& cube, uint64_t version,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(result);
+    it->second->result = std::move(result);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(result));
-  index_[key] = lru_.begin();
+  lru_.push_front(
+      Entry{cube, version, canonical_query, 0, std::move(result)});
+  index_[std::move(key)] = lru_.begin();
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    const Entry& victim = lru_.back();
+    index_.erase(MakeKey(victim.cube, victim.version, victim.canonical));
     lru_.pop_back();
     ++stats_.evictions;
   }
+}
+
+std::vector<std::string> ResultCache::Hottest(const std::string& cube,
+                                              size_t n) const {
+  // Hit counts summed per canonical text across versions; insertion order
+  // of `ranked` follows LRU order (front = most recent), so the stable
+  // sort's tie-break is recency.
+  std::vector<std::pair<std::string, uint64_t>> ranked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unordered_map<std::string, size_t> slot;  // canonical -> ranked idx
+    for (const Entry& e : lru_) {
+      if (e.cube != cube) continue;
+      auto [it, inserted] = slot.emplace(e.canonical, ranked.size());
+      if (inserted) {
+        ranked.emplace_back(e.canonical, e.hits);
+      } else {
+        ranked[it->second].second += e.hits;
+      }
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (ranked.size() > n) ranked.resize(n);
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& [text, hits] : ranked) out.push_back(std::move(text));
+  return out;
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -44,6 +44,9 @@ class CubeStore {
   explicit CubeStore(size_t max_versions = kDefaultMaxVersions)
       : max_versions_(max_versions == 0 ? 1 : max_versions) {}
 
+  /// Sealed versions retained per name (construction-time setting).
+  size_t max_versions() const { return max_versions_; }
+
   /// Seals the cube and publishes it under `name`; returns the new version
   /// (1 on first publish). Existing snapshots stay valid; versions older
   /// than the last `max_versions` are evicted from the store (readers
@@ -112,8 +115,24 @@ class ResultCache {
   size_t size() const;
   void Clear();
 
+  /// The `n` most-hit canonical query texts cached for `cube`, hottest
+  /// first (hit counts summed across cube versions, ties broken by
+  /// recency). This is the publish-time warming set: re-executing these
+  /// against a freshly published version refills the cache before organic
+  /// traffic misses.
+  std::vector<std::string> Hottest(const std::string& cube, size_t n) const;
+
  private:
-  using LruList = std::list<std::pair<std::string, QueryResult>>;
+  /// Key components are stored once; the flat lookup key (see MakeKey)
+  /// is rebuilt on demand (eviction) rather than duplicated per entry.
+  struct Entry {
+    std::string cube;       ///< cube name
+    uint64_t version = 0;   ///< cube version
+    std::string canonical;  ///< canonical query text
+    uint64_t hits = 0;      ///< Get() hits on this entry
+    QueryResult result;
+  };
+  using LruList = std::list<Entry>;
 
   static std::string MakeKey(const std::string& cube, uint64_t version,
                              const std::string& canonical_query);

@@ -161,12 +161,13 @@ Result<fpm::Itemset> Executor::ResolveItems(
   return fpm::Itemset(std::move(items));
 }
 
-Result<QueryResult> Executor::Execute(const Query& query) const {
-  return std::move(ExecuteBatch({query})[0]);
+Result<QueryResult> Executor::Execute(const Query& query,
+                                      const QueryContext& ctx) const {
+  return std::move(ExecuteBatch({query}, ctx)[0]);
 }
 
 std::vector<Result<QueryResult>> Executor::ExecuteBatch(
-    const std::vector<Query>& queries) const {
+    const std::vector<Query>& queries, const QueryContext& ctx) const {
   // --- prepare: resolve coordinates, classify by index path --------------
   std::vector<Prepared> prepared(queries.size());
   bool any_scan = false;
@@ -196,9 +197,17 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
   // Each cell is evaluated against each SURPRISES/REVERSALS query via the
   // view's precomputed parent/child adjacency (the explorer's per-cell
   // evaluators) — B analytic queries walk the cube once, not B times.
+  bool scan_expired = false;
   if (any_scan) {
+    // Deadline probes are amortised: one clock read per kDeadlineStride
+    // cells, not per cell.
+    constexpr size_t kDeadlineStride = 4096;
     const size_t n = view_.NumCells();
     for (cube::CubeView::CellId id = 0; id < n; ++id) {
+      if (id % kDeadlineStride == 0 && ctx.Expired()) {
+        scan_expired = true;
+        break;
+      }
       for (Prepared& p : prepared) {
         if (p.mode != Mode::kScan || !p.error.ok()) continue;
         const Query& q = *p.query;
@@ -223,6 +232,13 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
   for (Prepared& p : prepared) {
     if (!p.error.ok()) {
       out.push_back(p.error);
+      continue;
+    }
+    // Statement boundary: queries finalised before the deadline keep their
+    // results; the rest of the batch is abandoned cooperatively.
+    if ((p.mode == Mode::kScan && scan_expired) || ctx.Expired()) {
+      out.push_back(Status::DeadlineExceeded(
+          "query deadline expired before execution completed"));
       continue;
     }
     const Query& q = *p.query;

@@ -30,6 +30,7 @@
 #include "cube/cube_view.h"
 #include "cube/explorer.h"
 #include "query/ast.h"
+#include "query/context.h"
 #include "query/query_result.h"
 
 namespace scube {
@@ -44,12 +45,18 @@ class Executor {
   explicit Executor(const cube::CubeView& view);
 
   /// Executes one query.
-  Result<QueryResult> Execute(const Query& query) const;
+  Result<QueryResult> Execute(const Query& query,
+                              const QueryContext& ctx = {}) const;
 
   /// Executes a batch, sharing one cell pass across the analytic
   /// (SURPRISES/REVERSALS) queries. result[i] answers queries[i].
+  ///
+  /// The context's deadline is checked cooperatively at batch-statement
+  /// boundaries and every few thousand cells inside the shared scan:
+  /// queries not finalised before expiry return DeadlineExceeded (queries
+  /// finalised earlier in the same batch keep their results).
   std::vector<Result<QueryResult>> ExecuteBatch(
-      const std::vector<Query>& queries) const;
+      const std::vector<Query>& queries, const QueryContext& ctx = {}) const;
 
   /// Resolves attribute=value constraints into an itemset of the given
   /// kind. NotFound for unknown attributes/values, InvalidArgument when a

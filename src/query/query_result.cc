@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/string_util.h"
+
 namespace scube {
 namespace query {
 
@@ -25,35 +27,10 @@ std::string CsvField(const std::string& s) {
   return out;
 }
 
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+// JSON string escaping is shared with the HTTP front-end (scube::JsonQuote,
+// common/string_util.h) so the /query handler and the result serialiser
+// cannot drift.
+std::string JsonString(const std::string& s) { return JsonQuote(s); }
 
 }  // namespace
 

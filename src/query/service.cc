@@ -22,13 +22,24 @@ QueryService::QueryService(CubeStore* store, ServiceOptions options)
   }
 }
 
-QueryService::~QueryService() {
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  // Workers drain the queue before exiting, so every admitted batch's
+  // chunks still execute and their ExecuteBatch callers return normally.
+  // join_mu_ serialises concurrent Shutdown() callers: every caller
+  // (including the destructor) blocks until the join has finished, so
+  // no caller can start tearing the service down while another is still
+  // joining.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) return;
   for (std::thread& worker : workers_) worker.join();
+  joined_ = true;
 }
 
 void QueryService::WorkerLoop() {
@@ -45,21 +56,58 @@ void QueryService::WorkerLoop() {
   }
 }
 
-void QueryService::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(task));
-  }
-  queue_cv_.notify_one();
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  return s;
 }
 
-QueryResponse QueryService::ExecuteOne(const std::string& text) {
-  return std::move(ExecuteBatch({text})[0]);
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+QueryResponse QueryService::ExecuteOne(const std::string& text,
+                                       const QueryContext& ctx) {
+  return std::move(ExecuteBatch({text}, ctx)[0]);
 }
 
 std::vector<QueryResponse> QueryService::ExecuteBatch(
-    const std::vector<std::string>& texts) {
+    const std::vector<std::string>& texts, const QueryContext& ctx) {
   std::vector<QueryResponse> responses(texts.size());
+
+  // --- admission control --------------------------------------------------
+  // Shedding must be cheap: check the backlog before any parse or cache
+  // work, and reject the whole batch when the queue is at its bound. The
+  // front-end maps Unavailable to HTTP 503 + Retry-After.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    const bool full = queue_.size() >= options_.max_pending;
+    if (stopping_ || full) {
+      Status shed = stopping_
+                        ? Status::Unavailable("service is shutting down")
+                        : Status::Unavailable(
+                              "admission queue full (" +
+                              std::to_string(queue_.size()) + " pending >= " +
+                              std::to_string(options_.max_pending) +
+                              "); retry later");
+      for (size_t i = 0; i < texts.size(); ++i) {
+        responses[i].text = texts[i];
+        responses[i].status = shed;
+      }
+      rejected_.fetch_add(texts.size(), std::memory_order_relaxed);
+      return responses;
+    }
+  }
+  accepted_.fetch_add(texts.size(), std::memory_order_relaxed);
+
+  QueryContext context = ctx;
+  if (!context.has_deadline() && options_.default_deadline_ms > 0) {
+    context = QueryContext::WithTimeout(options_.default_deadline_ms);
+  }
 
   // --- parse, resolve cube, consult the cache -----------------------------
   // A miss is one distinct (canonical) query awaiting execution, plus every
@@ -132,7 +180,10 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     }
   }
 
-  if (groups.empty()) return responses;
+  if (groups.empty()) {
+    completed_.fetch_add(texts.size(), std::memory_order_relaxed);
+    return responses;
+  }
 
   // --- fan the misses out to the worker pool ------------------------------
   // Each chunk shares one cube scan; chunks across (and within) groups run
@@ -144,6 +195,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     ResultCache* cache;
     std::string cube_name;
     uint64_t cube_version;
+    QueryContext ctx;
   };
   std::vector<std::unique_ptr<Chunk>> chunks;
   size_t chunks_per_group =
@@ -162,6 +214,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       const Miss& first = group.misses[next];
       chunk->cube_name = responses[first.indices[0]].cube;
       chunk->cube_version = responses[first.indices[0]].cube_version;
+      chunk->ctx = context;
       chunk->misses.assign(
           std::make_move_iterator(group.misses.begin() + next),
           std::make_move_iterator(group.misses.begin() + next + take));
@@ -174,15 +227,24 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   std::condition_variable done_cv;
   size_t remaining = chunks.size();
 
-  for (auto& chunk_ptr : chunks) {
-    Chunk* chunk = chunk_ptr.get();
-    Submit([chunk, &done_mu, &done_cv, &remaining] {
+  auto run_chunk = [&done_mu, &done_cv, &remaining](Chunk* chunk) {
+    // A chunk whose deadline passed while it sat in the queue answers
+    // DeadlineExceeded outright — no executor construction, no scan: the
+    // worker moves straight on to still-live work.
+    if (chunk->ctx.Expired()) {
+      for (const Miss& miss : chunk->misses) {
+        for (size_t slot : miss.indices) {
+          (*chunk->responses)[slot].status = Status::DeadlineExceeded(
+              "query deadline expired while queued");
+        }
+      }
+    } else {
       WallTimer timer;
       Executor executor(*chunk->group->snapshot);
       std::vector<Query> queries;
       queries.reserve(chunk->misses.size());
       for (const Miss& miss : chunk->misses) queries.push_back(miss.query);
-      auto results = executor.ExecuteBatch(queries);
+      auto results = executor.ExecuteBatch(queries, chunk->ctx);
       double elapsed = timer.Millis();
 
       for (size_t i = 0; i < chunk->misses.size(); ++i) {
@@ -203,20 +265,103 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
           }
         }
       }
-      {
-        // Notify while holding the lock: the batch thread cannot observe
-        // remaining == 0 (and destroy done_cv) before this worker is done
-        // touching it.
-        std::lock_guard<std::mutex> lock(done_mu);
-        --remaining;
-        done_cv.notify_one();
+    }
+    {
+      // Notify while holding the lock: the batch thread cannot observe
+      // remaining == 0 (and destroy done_cv) before this worker is done
+      // touching it.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --remaining;
+      done_cv.notify_one();
+    }
+  };
+
+  // Enqueue every chunk in one critical section so no chunk can slip in
+  // after Shutdown() flipped `stopping_` (workers drain, then exit; a
+  // later enqueue would hang this batch forever).
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!stopping_) {
+      for (auto& chunk_ptr : chunks) {
+        Chunk* chunk = chunk_ptr.get();
+        queue_.push_back([chunk, &run_chunk] { run_chunk(chunk); });
       }
-    });
+      enqueued = true;
+    }
+  }
+  uint64_t shed_in_race = 0;
+  if (enqueued) {
+    queue_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  } else {
+    // Lost the race with Shutdown(): answer the misses as shed. They
+    // move from accepted to rejected (and are not completed), keeping
+    // the invariants accepted == completed + in-flight and
+    // accepted + rejected == submitted.
+    for (auto& chunk_ptr : chunks) {
+      for (const Miss& miss : chunk_ptr->misses) {
+        for (size_t slot : miss.indices) {
+          responses[slot].status =
+              Status::Unavailable("service is shutting down");
+          ++shed_in_race;
+        }
+      }
+    }
+    rejected_.fetch_add(shed_in_race, std::memory_order_relaxed);
+    accepted_.fetch_sub(shed_in_race, std::memory_order_relaxed);
   }
 
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  uint64_t expired = 0;
+  for (const QueryResponse& resp : responses) {
+    if (resp.status.code() == StatusCode::kDeadlineExceeded) ++expired;
+  }
+  if (expired > 0) {
+    deadline_expired_.fetch_add(expired, std::memory_order_relaxed);
+  }
+  completed_.fetch_add(texts.size() - shed_in_race,
+                       std::memory_order_relaxed);
   return responses;
+}
+
+QueryService::PublishInfo QueryService::PublishAndWarm(
+    const std::string& name, cube::SegregationCube cube) {
+  PublishInfo info;
+  // The warming set is decided by traffic up to now: the hottest cached
+  // texts for this cube, across the versions currently in cache.
+  std::vector<std::string> hottest = cache_.Hottest(name, options_.warm_top_n);
+  info.version = store_->Publish(name, std::move(cube));
+  if (hottest.empty()) return info;
+
+  CubeStore::Snapshot snapshot = store_->GetVersion(name, info.version);
+  if (snapshot == nullptr) return info;
+
+  std::vector<Query> queries;
+  std::vector<std::string> canonicals;
+  for (const std::string& text : hottest) {
+    auto parsed = Parse(text);
+    if (!parsed.ok()) continue;
+    Query q = std::move(parsed).value();
+    // Version-pinned texts target their old snapshot, not the new one.
+    if (q.cube_version) continue;
+    canonicals.push_back(Canonical(q));
+    queries.push_back(std::move(q));
+  }
+  if (queries.empty()) return info;
+
+  // Warming runs on the publisher's thread, off the admission queue: it
+  // cannot be shed by the very overload it exists to soften, and it does
+  // not displace live traffic from the workers.
+  Executor executor(*snapshot);
+  auto results = executor.ExecuteBatch(queries);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) continue;
+    cache_.Put(name, info.version, canonicals[i],
+               std::move(results[i]).value());
+    ++info.warmed;
+  }
+  return info;
 }
 
 }  // namespace query

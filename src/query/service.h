@@ -6,10 +6,24 @@
 // cube snapshot and fanned out to the workers, each worker chunk sharing
 // one cube scan (Executor::ExecuteBatch). Publishing new cubes proceeds
 // concurrently: in-flight queries keep their snapshot.
+//
+// Overload safety (the network front-end's contract):
+//   - admission control: the worker queue is bounded; batches arriving
+//     while the backlog is at the bound are shed immediately with
+//     Unavailable (scubed turns that into HTTP 503 + Retry-After),
+//   - per-query deadlines: a QueryContext deadline (or the configured
+//     default) is checked cooperatively at batch-statement boundaries, so
+//     expired queries return DeadlineExceeded instead of burning a worker,
+//   - graceful shutdown: Shutdown() stops admitting, drains every
+//     in-flight chunk, and joins the workers,
+//   - publish-time warming: PublishAndWarm() re-executes the hottest
+//     cached query texts against the freshly sealed view, so a publish
+//     does not cliff the cache hit rate.
 
 #ifndef SCUBE_QUERY_SERVICE_H_
 #define SCUBE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -21,6 +35,7 @@
 
 #include "common/status.h"
 #include "query/ast.h"
+#include "query/context.h"
 #include "query/cube_store.h"
 #include "query/query_result.h"
 
@@ -37,6 +52,26 @@ struct ServiceOptions {
 
   /// Cube name used when a query has no FROM clause.
   std::string default_cube = "default";
+
+  /// Admission bound: batches arriving while this many worker tasks are
+  /// already queued are shed with Unavailable. 0 sheds everything (useful
+  /// for drain tests); pick ~num_workers * expected batch latency budget.
+  size_t max_pending = 256;
+
+  /// Deadline applied to requests that carry none (milliseconds);
+  /// 0 = unbounded.
+  double default_deadline_ms = 0;
+
+  /// Hottest cached query texts re-executed by PublishAndWarm().
+  size_t warm_top_n = 8;
+};
+
+/// \brief Monotonic serving counters (exported by scubed's /metrics).
+struct ServiceStats {
+  uint64_t accepted = 0;          ///< queries admitted past the queue bound
+  uint64_t rejected = 0;          ///< queries shed by admission control
+  uint64_t deadline_expired = 0;  ///< queries answered DeadlineExceeded
+  uint64_t completed = 0;         ///< admitted queries answered (any status)
 };
 
 /// \brief The answer to one query text.
@@ -68,28 +103,66 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Parses and executes one query.
-  QueryResponse ExecuteOne(const std::string& text);
+  QueryResponse ExecuteOne(const std::string& text,
+                           const QueryContext& ctx = {});
 
-  /// Parses and executes a batch; responses[i] answers texts[i].
+  /// Parses and executes a batch; responses[i] answers texts[i]. When the
+  /// admission queue is full every response carries Unavailable; when the
+  /// context (or default) deadline expires mid-batch the unfinished
+  /// responses carry DeadlineExceeded.
   std::vector<QueryResponse> ExecuteBatch(
-      const std::vector<std::string>& texts);
+      const std::vector<std::string>& texts, const QueryContext& ctx = {});
+
+  /// \brief Outcome of a PublishAndWarm call.
+  struct PublishInfo {
+    uint64_t version = 0;  ///< the newly published version
+    size_t warmed = 0;     ///< cache entries pre-filled for that version
+  };
+
+  /// Publishes `cube` under `name` and immediately re-executes the
+  /// hottest cached query texts for that cube (options().warm_top_n)
+  /// against the fresh snapshot, pre-filling the result cache. Warming
+  /// runs on the caller's thread and bypasses admission control — the
+  /// publisher pays for it, traffic is not displaced. Version-pinned
+  /// texts (`FROM name@v`) are skipped: they do not target the new
+  /// version.
+  PublishInfo PublishAndWarm(const std::string& name,
+                             cube::SegregationCube cube);
+
+  /// Stops admitting new batches, drains every queued chunk (in-flight
+  /// ExecuteBatch calls complete normally) and joins the workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
 
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
   void ClearCache() { cache_.Clear(); }
   const ServiceOptions& options() const { return options_; }
 
+  /// Serving counters snapshot.
+  ServiceStats stats() const;
+
+  /// Worker tasks currently queued (the admission-controlled backlog).
+  size_t queue_depth() const;
+
  private:
   void WorkerLoop();
-  void Submit(std::function<void()> task);
 
   CubeStore* store_;
   ServiceOptions options_;
   ResultCache cache_;
 
-  std::mutex queue_mu_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+
+  std::mutex join_mu_;    ///< serialises the join in Shutdown()
+  bool joined_ = false;   ///< guarded by join_mu_
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,36 @@
+#include "query/temporal_publish.h"
+
+namespace scube {
+namespace query {
+
+Result<TemporalPublishResult> RunTemporalAnalysisPublished(
+    CubeStore* store, const std::string& name,
+    const etl::ScubeInputs& inputs, const pipeline::PipelineConfig& config,
+    const std::vector<graph::Date>& dates,
+    const std::vector<pipeline::TrackedCell>& tracked) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null CubeStore");
+  }
+  if (store->max_versions() < dates.size()) {
+    return Status::InvalidArgument(
+        "store retains " + std::to_string(store->max_versions()) +
+        " versions but the run has " + std::to_string(dates.size()) +
+        " dates; earlier snapshots would be evicted mid-run");
+  }
+
+  TemporalPublishResult out;
+  out.cube_name = name;
+  out.versions.reserve(dates.size());
+  auto temporal = pipeline::RunTemporalAnalysis(
+      inputs, config, dates, tracked,
+      [&](graph::Date /*date*/, pipeline::PipelineResult&& result) {
+        out.versions.push_back(
+            PublishPipelineResult(store, name, std::move(result)));
+      });
+  if (!temporal.ok()) return temporal.status();
+  out.temporal = std::move(temporal).value();
+  return out;
+}
+
+}  // namespace query
+}  // namespace scube

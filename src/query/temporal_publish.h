@@ -1,0 +1,46 @@
+// Temporal cubes in the serving layer: runs the temporal analysis and
+// publishes each date's cube into a CubeStore, so every snapshot becomes
+// an immutable sealed version addressable from SCubeQL (and from scubed's
+// HTTP clients) as `FROM name@version` — version i answers date dates[i-…]
+// in publish order.
+
+#ifndef SCUBE_QUERY_TEMPORAL_PUBLISH_H_
+#define SCUBE_QUERY_TEMPORAL_PUBLISH_H_
+
+#include <string>
+#include <vector>
+
+#include "query/cube_store.h"
+#include "scube/temporal.h"
+
+namespace scube {
+namespace query {
+
+/// \brief A temporal run whose snapshots live in a CubeStore.
+struct TemporalPublishResult {
+  pipeline::TemporalResult temporal;  ///< tracked-cell series per date
+  std::string cube_name;              ///< the published name
+  /// versions[i] is the store version holding dates[i]'s sealed cube.
+  std::vector<uint64_t> versions;
+};
+
+/// Runs `RunTemporalAnalysis` and publishes each date's cube under
+/// `name`, in date order. The store must retain at least `dates.size()`
+/// versions (InvalidArgument otherwise — earlier dates would be evicted
+/// before the run even finishes).
+///
+/// Publishing is incremental: when a later date's pipeline run fails,
+/// the versions already published for earlier dates *stay* in the store
+/// (publishing never retracts — readers may already hold them). The
+/// error status names the failing date; callers that need all-or-nothing
+/// semantics should run against a scratch store first.
+Result<TemporalPublishResult> RunTemporalAnalysisPublished(
+    CubeStore* store, const std::string& name,
+    const etl::ScubeInputs& inputs, const pipeline::PipelineConfig& config,
+    const std::vector<graph::Date>& dates,
+    const std::vector<pipeline::TrackedCell>& tracked);
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_TEMPORAL_PUBLISH_H_

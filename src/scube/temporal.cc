@@ -28,7 +28,7 @@ bool ResolveItems(
 Result<TemporalResult> RunTemporalAnalysis(
     const etl::ScubeInputs& inputs, const PipelineConfig& config,
     const std::vector<graph::Date>& dates,
-    const std::vector<TrackedCell>& tracked) {
+    const std::vector<TrackedCell>& tracked, const SnapshotSink& sink) {
   if (dates.empty()) {
     return Status::InvalidArgument("temporal analysis needs at least one "
                                    "snapshot date");
@@ -50,7 +50,8 @@ Result<TemporalResult> RunTemporalAnalysis(
     }
     // Tracked-cell extraction is a handful of point lookups per date, so
     // it reads the build-side cube directly; sealing (index construction)
-    // is reserved for snapshots that get published and explored.
+    // happens downstream when the sink publishes a snapshot into a
+    // CubeStore.
     const auto& cube = result->cube;
     const auto& schema = result->final_table.schema();
 
@@ -70,6 +71,8 @@ Result<TemporalResult> RunTemporalAnalysis(
       }
       out.series[i].push_back(point);
     }
+
+    if (sink) sink(date, std::move(*result));
   }
   return out;
 }

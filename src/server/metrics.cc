@@ -1,0 +1,96 @@
+#include "server/metrics.h"
+
+#include <cstdio>
+
+namespace scube {
+namespace server {
+
+namespace {
+
+void Counter(std::string* out, const char* name, uint64_t value,
+             const char* help) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " counter\n";
+  *out += name;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+void Gauge(std::string* out, const char* name, double value,
+           const char* help) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " gauge\n";
+  *out += name;
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const ServerMetrics& metrics,
+                             const query::QueryService& service) {
+  std::string out;
+  out.reserve(2048);
+
+  Counter(&out, "scubed_connections_total",
+          metrics.connections.load(std::memory_order_relaxed),
+          "TCP connections accepted");
+  Counter(&out, "scubed_connections_shed_total",
+          metrics.connections_shed.load(std::memory_order_relaxed),
+          "Connections refused because the connection queue was full");
+  Counter(&out, "scubed_http_requests_total",
+          metrics.http_requests.load(std::memory_order_relaxed),
+          "HTTP requests handled");
+  Counter(&out, "scubed_http_errors_total",
+          metrics.http_errors.load(std::memory_order_relaxed),
+          "HTTP responses with a 4xx/5xx status");
+  Counter(&out, "scubed_line_requests_total",
+          metrics.line_requests.load(std::memory_order_relaxed),
+          "Line-protocol queries handled");
+
+  query::ServiceStats stats = service.stats();
+  Counter(&out, "scubed_queries_accepted_total", stats.accepted,
+          "Queries admitted past the admission queue bound");
+  Counter(&out, "scubed_queries_rejected_total", stats.rejected,
+          "Queries shed by admission control (HTTP 503)");
+  Counter(&out, "scubed_queries_deadline_expired_total",
+          stats.deadline_expired,
+          "Queries answered DeadlineExceeded");
+  Counter(&out, "scubed_queries_completed_total", stats.completed,
+          "Admitted queries answered (any status)");
+  Gauge(&out, "scubed_queue_depth",
+        static_cast<double>(service.queue_depth()),
+        "Worker tasks currently queued");
+
+  query::ResultCache::Stats cache = service.cache_stats();
+  Counter(&out, "scubed_cache_hits_total", cache.hits,
+          "Result-cache hits");
+  Counter(&out, "scubed_cache_misses_total", cache.misses,
+          "Result-cache misses");
+  Counter(&out, "scubed_cache_evictions_total", cache.evictions,
+          "Result-cache LRU evictions");
+  uint64_t lookups = cache.hits + cache.misses;
+  Gauge(&out, "scubed_cache_hit_rate",
+        lookups == 0 ? 0.0
+                     : static_cast<double>(cache.hits) /
+                           static_cast<double>(lookups),
+        "Result-cache hit fraction since start");
+  return out;
+}
+
+}  // namespace server
+}  // namespace scube

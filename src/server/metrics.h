@@ -1,0 +1,39 @@
+// ServerMetrics: scubed's monotonic counters, rendered for GET /metrics
+// in Prometheus text exposition format. Connection/request counters live
+// here; query admission/deadline/cache counters come from the underlying
+// QueryService at render time.
+
+#ifndef SCUBE_SERVER_METRICS_H_
+#define SCUBE_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "query/service.h"
+
+namespace scube {
+namespace server {
+
+/// \brief Lock-free serving counters. One instance per ScubedServer.
+struct ServerMetrics {
+  std::atomic<uint64_t> connections{0};       ///< accepted TCP connections
+  std::atomic<uint64_t> connections_shed{0};  ///< refused: conn queue full
+  std::atomic<uint64_t> http_requests{0};     ///< HTTP requests handled
+  std::atomic<uint64_t> http_errors{0};       ///< 4xx/5xx responses
+  std::atomic<uint64_t> line_requests{0};     ///< line-protocol queries
+
+  void Inc(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Renders the full exposition: server counters plus the service's
+/// admission/deadline stats, queue depth and cache hit rate.
+std::string RenderPrometheus(const ServerMetrics& metrics,
+                             const query::QueryService& service);
+
+}  // namespace server
+}  // namespace scube
+
+#endif  // SCUBE_SERVER_METRICS_H_

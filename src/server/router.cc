@@ -1,0 +1,188 @@
+#include "server/router.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace scube {
+namespace server {
+
+namespace {
+
+net::HttpResponse JsonError(int status, const std::string& message) {
+  net::HttpResponse resp(status, "{\"error\":" + JsonQuote(message) + "}\n");
+  return resp;
+}
+
+std::string FormatMillis(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+/// Splits a /query body into statements: one per line, blank lines and
+/// `#` comments skipped.
+std::vector<std::string> SplitStatements(const std::string& body) {
+  std::vector<std::string> out;
+  for (const std::string& raw : Split(body, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    out.emplace_back(line);
+  }
+  return out;
+}
+
+bool AllUnavailable(const std::vector<query::QueryResponse>& responses) {
+  if (responses.empty()) return false;
+  for (const auto& r : responses) {
+    if (r.status.code() != StatusCode::kUnavailable) return false;
+  }
+  return true;
+}
+
+net::HttpResponse HandleQuery(const RouterContext& ctx,
+                              const net::HttpRequest& request) {
+  const std::string format = request.Param("format", "json");
+  if (format != "json" && format != "csv") {
+    return JsonError(400, "unknown format '" + format +
+                              "' (expected json or csv)");
+  }
+
+  query::QueryContext qctx;
+  const std::string deadline = request.Param("deadline_ms");
+  if (!deadline.empty()) {
+    auto ms = ParseDouble(deadline);
+    if (!ms.ok() || *ms <= 0) {
+      return JsonError(400, "bad deadline_ms '" + deadline +
+                                "' (must be a positive number of "
+                                "milliseconds)");
+    }
+    qctx = query::QueryContext::WithTimeout(*ms);
+  }
+
+  std::vector<std::string> statements = SplitStatements(request.body);
+  if (statements.empty()) {
+    return JsonError(400,
+                     "empty query body (one SCubeQL statement per line)");
+  }
+
+  std::vector<query::QueryResponse> responses =
+      ctx.service->ExecuteBatch(statements, qctx);
+
+  if (AllUnavailable(responses)) {
+    net::HttpResponse resp =
+        JsonError(503, responses.front().status.message());
+    resp.SetHeader("Retry-After", "1");
+    return resp;
+  }
+
+  if (format == "csv") {
+    net::HttpResponse resp;
+    resp.content_type = "text/csv";
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const query::QueryResponse& r = responses[i];
+      resp.body += "# query " + std::to_string(i) + ": " + r.text + " [" +
+                   StatusCodeToString(r.status.code()) + "]\n";
+      if (r.status.ok()) {
+        resp.body += query::ToCsv(r.result);
+      }
+      if (i + 1 < responses.size()) resp.body += '\n';
+    }
+    return resp;
+  }
+
+  std::string body = "{\"count\":" + std::to_string(responses.size()) +
+                     ",\"results\":[";
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i > 0) body += ',';
+    body += ResponseToJson(responses[i]);
+  }
+  body += "]}\n";
+  return net::HttpResponse(200, std::move(body));
+}
+
+net::HttpResponse HandleCubes(const RouterContext& ctx) {
+  std::string body = "{\"cubes\":[";
+  bool first = true;
+  for (const std::string& name : ctx.store->Names()) {
+    uint64_t version = 0;
+    auto snapshot = ctx.store->Get(name, &version);
+    if (snapshot == nullptr) continue;
+    if (!first) body += ',';
+    first = false;
+    body += "{\"name\":" + JsonQuote(name) +
+            ",\"version\":" + std::to_string(version) + ",\"retained\":[";
+    bool first_version = true;
+    for (uint64_t v : ctx.store->RetainedVersions(name)) {
+      if (!first_version) body += ',';
+      first_version = false;
+      body += std::to_string(v);
+    }
+    body += "],\"cells\":" + std::to_string(snapshot->NumCells()) +
+            ",\"defined_cells\":" + std::to_string(snapshot->NumDefinedCells()) +
+            "}";
+  }
+  body += "]}\n";
+  return net::HttpResponse(200, std::move(body));
+}
+
+net::HttpResponse HandleHealthz(const RouterContext& ctx) {
+  return net::HttpResponse(
+      200, "{\"status\":\"ok\",\"cubes\":" +
+               std::to_string(ctx.store->Names().size()) + "}\n");
+}
+
+net::HttpResponse HandleMetrics(const RouterContext& ctx) {
+  net::HttpResponse resp(200, RenderPrometheus(*ctx.metrics, *ctx.service));
+  resp.content_type = "text/plain; version=0.0.4";
+  return resp;
+}
+
+}  // namespace
+
+std::string ResponseToJson(const query::QueryResponse& response) {
+  std::string out = "{\"query\":" + JsonQuote(response.text) +
+                    ",\"code\":" +
+                    JsonQuote(StatusCodeToString(response.status.code()));
+  if (!response.status.ok()) {
+    out += ",\"message\":" + JsonQuote(response.status.message());
+  }
+  if (!response.cube.empty()) {
+    out += ",\"cube\":" + JsonQuote(response.cube) +
+           ",\"version\":" + std::to_string(response.cube_version);
+  }
+  out += ",\"cache_hit\":";
+  out += response.cache_hit ? "true" : "false";
+  out += ",\"exec_ms\":" + FormatMillis(response.exec_ms);
+  out += ",\"result\":";
+  out += response.status.ok() ? query::ToJson(response.result) : "null";
+  out += '}';
+  return out;
+}
+
+net::HttpResponse HandleHttpRequest(const RouterContext& ctx,
+                                    const net::HttpRequest& request) {
+  if (request.path == "/query") {
+    if (request.method != "POST") {
+      return JsonError(405, "use POST /query");
+    }
+    return HandleQuery(ctx, request);
+  }
+  if (request.method != "GET" && request.method != "HEAD") {
+    return JsonError(405, "unsupported method " + request.method);
+  }
+  if (request.path == "/healthz") return HandleHealthz(ctx);
+  if (request.path == "/metrics") return HandleMetrics(ctx);
+  if (request.path == "/cubes") return HandleCubes(ctx);
+  return JsonError(404, "no route for " + request.path);
+}
+
+std::string HandleProtocolLine(const RouterContext& ctx,
+                               const std::string& line) {
+  std::string_view text = Trim(line);
+  if (text.empty() || text.front() == '#') return "";
+  return ResponseToJson(ctx.service->ExecuteOne(std::string(text)));
+}
+
+}  // namespace server
+}  // namespace scube

@@ -1,0 +1,51 @@
+// scubed's request router and handlers, separated from connection
+// plumbing so they can be unit-tested without sockets:
+//
+//   POST /query     execute a SCubeQL batch (one statement per body line);
+//                   ?format=json|csv, ?deadline_ms=N overrides the default
+//   GET  /cubes     published cube names, versions and sizes
+//   GET  /healthz   liveness: {"status":"ok",...}
+//   GET  /metrics   Prometheus text exposition (see metrics.h)
+//
+// Admission shedding surfaces as HTTP 503 with a Retry-After header; the
+// line protocol answers one JSON object per submitted query line.
+
+#ifndef SCUBE_SERVER_ROUTER_H_
+#define SCUBE_SERVER_ROUTER_H_
+
+#include <string>
+
+#include "net/http.h"
+#include "query/cube_store.h"
+#include "query/service.h"
+#include "server/metrics.h"
+
+namespace scube {
+namespace server {
+
+/// \brief Everything a handler may touch (non-owning).
+struct RouterContext {
+  query::QueryService* service = nullptr;
+  query::CubeStore* store = nullptr;
+  ServerMetrics* metrics = nullptr;
+};
+
+/// Dispatches one parsed HTTP request to its handler. Never throws; any
+/// failure becomes a JSON error response with the appropriate status.
+net::HttpResponse HandleHttpRequest(const RouterContext& ctx,
+                                    const net::HttpRequest& request);
+
+/// Executes one line-protocol query line; returns a single-line JSON
+/// answer (no trailing newline). Empty/comment lines return "".
+std::string HandleProtocolLine(const RouterContext& ctx,
+                               const std::string& line);
+
+/// One QueryResponse as a JSON object (shared by /query and the line
+/// protocol): {"query":...,"code":...,"cube":...,"version":...,
+/// "cache_hit":...,"exec_ms":...,"result":{...}|null,"message":...}.
+std::string ResponseToJson(const query::QueryResponse& response);
+
+}  // namespace server
+}  // namespace scube
+
+#endif  // SCUBE_SERVER_ROUTER_H_

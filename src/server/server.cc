@@ -1,0 +1,199 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace scube {
+namespace server {
+
+ScubedServer::ScubedServer(query::QueryService* service,
+                           query::CubeStore* store, ServerOptions options)
+    : service_(service), store_(store), options_(std::move(options)) {
+  options_.num_connection_threads =
+      std::max<size_t>(1, options_.num_connection_threads);
+  router_ = RouterContext{service_, store_, &metrics_};
+}
+
+ScubedServer::~ScubedServer() { Stop(); }
+
+Status ScubedServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  auto listener = net::ListenSocket::Bind(options_.port,
+                                          options_.loopback_only);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  handlers_.reserve(options_.num_connection_threads);
+  for (size_t i = 0; i < options_.num_connection_threads; ++i) {
+    handlers_.emplace_back([this] { ConnectionLoop(); });
+  }
+  return Status::OK();
+}
+
+void ScubedServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  running_.store(false, std::memory_order_release);
+  // Wake the blocked accept() without closing the fd: the fd number must
+  // not be reused by a concurrent connection while accept() still holds
+  // it. The actual close happens after the acceptor is joined.
+  listener_.ShutdownAccept();
+  conn_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
+  // Connections still queued but never handled just close (RAII).
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  pending_.clear();
+}
+
+void ScubedServer::AcceptLoop() {
+  while (running()) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      // Listener closed (shutdown) or transient error; only exit on
+      // shutdown. Back off briefly so a persistent error (EMFILE under
+      // an fd flood) does not busy-spin a core at the worst moment.
+      if (!running()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    metrics_.Inc(metrics_.connections);
+    net::Socket socket = std::move(accepted).value();
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (pending_.size() >= options_.max_queued_connections) {
+        shed = true;
+      } else {
+        pending_.push_back(std::move(socket));
+      }
+    }
+    if (shed) {
+      // Connection-level load shedding: answer 503 without parsing.
+      metrics_.Inc(metrics_.connections_shed);
+      net::HttpResponse resp(503,
+                             "{\"error\":\"connection queue full\"}\n");
+      resp.SetHeader("Retry-After", "1");
+      socket.WriteAll(net::SerializeResponse(resp, /*keep_alive=*/false));
+      continue;  // socket closes via RAII
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void ScubedServer::ConnectionLoop() {
+  while (true) {
+    net::Socket socket;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait(lock, [this] {
+        return !running() || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      socket = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConnection(std::move(socket));
+  }
+}
+
+std::optional<std::string> ScubedServer::NextLine(
+    net::BufferedReader* reader) {
+  for (size_t idle = 0; idle < options_.max_idle_polls; ++idle) {
+    auto line = reader->ReadLine();
+    if (line.ok()) return std::move(line).value();
+    // A receive timeout is the idle poll tick: keep waiting while the
+    // server runs, close once it stops (this bounds Stop() latency).
+    if (line.status().code() != StatusCode::kDeadlineExceeded ||
+        !running()) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;  // idle timeout
+}
+
+void ScubedServer::ServeConnection(net::Socket socket) {
+  socket.SetNoDelay();
+  socket.SetRecvTimeout(options_.idle_poll_seconds);
+  net::BufferedReader reader(&socket);
+
+  auto first = NextLine(&reader);
+  if (!first) return;
+  if (net::SniffsAsHttp(*first)) {
+    ServeHttp(&socket, &reader, std::move(*first));
+  } else {
+    ServeLineProtocol(&socket, &reader, std::move(*first));
+  }
+}
+
+void ScubedServer::ServeHttp(net::Socket* socket,
+                             net::BufferedReader* reader,
+                             std::string first_line) {
+  std::string request_line = std::move(first_line);
+  while (true) {
+    // Mid-request reads (headers, body) get the longer request-read
+    // bound; the short idle-poll timeout is only for the gap *between*
+    // requests, where it doubles as the shutdown poll tick.
+    socket->SetRecvTimeout(options_.request_read_seconds);
+    auto parsed = net::ReadHttpRequest(reader, request_line);
+    socket->SetRecvTimeout(options_.idle_poll_seconds);
+    net::HttpResponse response;
+    bool keep_alive = false;
+    bool head = false;
+    if (!parsed.ok()) {
+      response = net::HttpResponse(
+          400, "{\"error\":" + JsonQuote(parsed.status().message()) + "}\n");
+    } else {
+      keep_alive = parsed->keep_alive && running();
+      head = parsed->method == "HEAD";
+      response = HandleHttpRequest(router_, *parsed);
+    }
+    metrics_.Inc(metrics_.http_requests);
+    if (response.status >= 400) metrics_.Inc(metrics_.http_errors);
+    std::string wire = net::SerializeResponse(response, keep_alive);
+    // HEAD: same headers as GET (including the true Content-Length),
+    // no body bytes.
+    if (head) wire.resize(wire.size() - response.body.size());
+    if (!socket->WriteAll(wire).ok()) return;
+    if (!keep_alive) return;
+
+    auto next = NextLine(reader);
+    if (!next) return;
+    request_line = std::move(*next);
+    if (request_line.empty()) return;
+  }
+}
+
+void ScubedServer::ServeLineProtocol(net::Socket* socket,
+                                     net::BufferedReader* reader,
+                                     std::string first_line) {
+  std::string line = std::move(first_line);
+  while (true) {
+    std::string trimmed(Trim(line));
+    if (trimmed == "QUIT" || trimmed == ".quit") return;
+    if (!trimmed.empty()) {
+      metrics_.Inc(metrics_.line_requests);
+      std::string answer = HandleProtocolLine(router_, trimmed);
+      if (!answer.empty()) {
+        answer += '\n';
+        if (!socket->WriteAll(answer).ok()) return;
+      }
+    }
+    auto next = NextLine(reader);
+    if (!next) return;
+    line = std::move(*next);
+  }
+}
+
+}  // namespace server
+}  // namespace scube

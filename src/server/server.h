@@ -1,0 +1,130 @@
+// ScubedServer: the network front-end over a QueryService.
+//
+// One acceptor thread pushes connections onto a bounded queue consumed by
+// a fixed pool of connection threads (thread count and queue bound are the
+// connection-level admission control; query-level admission lives in
+// QueryService). Each connection thread sniffs the first line to pick a
+// dialect:
+//
+//   HTTP/1.1       keep-alive request loop (router.h routes)
+//   line protocol  one SCubeQL statement per line in, one JSON object
+//                  per line out — for scripted clients and netcat
+//
+// Stop() is graceful: the listener closes, idle keep-alive connections
+// drop at their next poll tick, in-flight requests finish, and the
+// underlying QueryService drains (it is not owned and stays usable).
+
+#ifndef SCUBE_SERVER_SERVER_H_
+#define SCUBE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "server/metrics.h"
+#include "server/router.h"
+
+namespace scube {
+namespace server {
+
+/// \brief Connection-level tuning.
+struct ServerOptions {
+  /// TCP port; 0 = kernel-assigned (read back via port()).
+  uint16_t port = 8080;
+
+  /// Bind 127.0.0.1 only (benches, tests, local demos).
+  bool loopback_only = false;
+
+  /// Connection handler threads. Each handles one connection at a time;
+  /// with keep-alive this is the concurrent-connection capacity.
+  size_t num_connection_threads = 8;
+
+  /// Accepted connections waiting for a handler beyond which new ones are
+  /// shed with an immediate 503 + close.
+  size_t max_queued_connections = 64;
+
+  /// Seconds a connection may sit idle between requests before the
+  /// handler polls for shutdown (and, when stopping, closes it). Also the
+  /// bound on Stop() latency for idle keep-alive connections.
+  double idle_poll_seconds = 0.5;
+
+  /// Idle poll ticks before an inactive connection is dropped
+  /// (idle timeout = idle_poll_seconds * max_idle_polls).
+  size_t max_idle_polls = 120;
+
+  /// Receive-timeout bound while *inside* one request (headers/body after
+  /// the request line). Larger than the idle poll so a brief network
+  /// stall mid-request is not fatal; small enough that a stalled peer
+  /// cannot pin a handler thread indefinitely.
+  double request_read_seconds = 10.0;
+};
+
+/// \brief The scubed serving front-end. Start() spawns threads; Stop()
+/// (or the destructor) shuts down gracefully.
+class ScubedServer {
+ public:
+  ScubedServer(query::QueryService* service, query::CubeStore* store,
+               ServerOptions options = {});
+  ~ScubedServer();
+
+  ScubedServer(const ScubedServer&) = delete;
+  ScubedServer& operator=(const ScubedServer&) = delete;
+
+  /// Binds and starts accepting. IoError when the port is taken.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, finish in-flight requests, join
+  /// all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return listener_.port(); }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop();
+  void ServeConnection(net::Socket socket);
+  void ServeHttp(net::Socket* socket, net::BufferedReader* reader,
+                 std::string first_line);
+  void ServeLineProtocol(net::Socket* socket, net::BufferedReader* reader,
+                         std::string first_line);
+
+  /// ReadLine that tolerates idle-poll timeouts while running; returns
+  /// nullopt when the connection should close (EOF, error, shutdown,
+  /// or idle timeout).
+  std::optional<std::string> NextLine(net::BufferedReader* reader);
+
+  query::QueryService* service_;
+  query::CubeStore* store_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+  RouterContext router_;
+
+  net::ListenSocket listener_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<net::Socket> pending_;
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace server
+}  // namespace scube
+
+#endif  // SCUBE_SERVER_SERVER_H_

@@ -63,6 +63,34 @@ TEST(ParseDoubleTest, ValidAndInvalid) {
   EXPECT_FALSE(ParseDouble("0.5bad").ok());
 }
 
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+  EXPECT_EQ(JsonQuote("sector=IT"), "\"sector=IT\"");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\path\\to"), "C:\\\\path\\\\to");
+  EXPECT_EQ(JsonQuote("\""), "\"\\\"\"");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscape("a\fb"), "a\\fb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+}
+
+TEST(JsonEscapeTest, Utf8SurvivesVerbatim) {
+  // Multi-byte sequences are above 0x1f per byte: no mangling.
+  EXPECT_EQ(JsonEscape("città"), "città");
+  EXPECT_EQ(JsonEscape("北京"), "北京");
+}
+
 TEST(FormatTest, DoubleAndCommas) {
   EXPECT_EQ(FormatDouble(0.78125, 2), "0.78");
   EXPECT_EQ(FormatDouble(1.0, 3), "1.000");

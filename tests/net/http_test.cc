@@ -1,0 +1,184 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <string>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace scube {
+namespace net {
+namespace {
+
+/// A connected socket pair: write raw bytes into `feeder`, parse from
+/// `reader_socket`.
+struct Pair {
+  Socket feeder;
+  Socket reader_socket;
+
+  Pair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    feeder = Socket(fds[0]);
+    reader_socket = Socket(fds[1]);
+  }
+};
+
+HttpRequest MustParse(const std::string& raw) {
+  Pair pair;
+  EXPECT_TRUE(pair.feeder.WriteAll(raw).ok());
+  pair.feeder.Close();  // EOF so body reads terminate
+  BufferedReader reader(&pair.reader_socket);
+  auto line = reader.ReadLine();
+  EXPECT_TRUE(line.ok()) << line.status();
+  auto request = ReadHttpRequest(&reader, *line);
+  EXPECT_TRUE(request.ok()) << request.status();
+  return std::move(request).value();
+}
+
+TEST(HttpSniffTest, SeparatesHttpFromLineProtocol) {
+  EXPECT_TRUE(SniffsAsHttp("GET / HTTP/1.1"));
+  EXPECT_TRUE(SniffsAsHttp("POST /query?format=csv HTTP/1.0"));
+  EXPECT_FALSE(SniffsAsHttp("TOPK 5 BY dissimilarity"));
+  EXPECT_FALSE(SniffsAsHttp("SLICE sa=gender=F"));
+  EXPECT_FALSE(SniffsAsHttp(""));
+  EXPECT_FALSE(SniffsAsHttp("hello"));
+}
+
+TEST(UrlDecodeTest, DecodesEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("T%20%3E%3D%2030"), "T >= 30");
+  EXPECT_EQ(UrlDecode("100%"), "100%");  // bad escape passes through
+}
+
+TEST(ParseTargetTest, SplitsPathAndParams) {
+  std::string path;
+  std::map<std::string, std::string> params;
+  ParseTarget("/query?format=csv&deadline_ms=250", &path, &params);
+  EXPECT_EQ(path, "/query");
+  EXPECT_EQ(params["format"], "csv");
+  EXPECT_EQ(params["deadline_ms"], "250");
+
+  ParseTarget("/healthz", &path, &params);
+  EXPECT_EQ(path, "/healthz");
+  EXPECT_TRUE(params.empty());
+}
+
+TEST(HttpRequestTest, ParsesGetWithHeaders) {
+  HttpRequest req = MustParse(
+      "GET /metrics HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Custom: value\r\n"
+      "\r\n");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/metrics");
+  EXPECT_EQ(req.Header("host"), "localhost");
+  EXPECT_EQ(req.Header("x-custom"), "value");
+  EXPECT_TRUE(req.keep_alive);  // HTTP/1.1 default
+}
+
+TEST(HttpRequestTest, ParsesPostBodyByContentLength) {
+  std::string body = "TOPK 5 BY dissimilarity\nSLICE sa=sex=F";
+  HttpRequest req = MustParse(
+      "POST /query?format=json HTTP/1.1\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n"
+      "\r\n" + body);
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.path, "/query");
+  EXPECT_EQ(req.Param("format"), "json");
+  EXPECT_EQ(req.body, body);
+}
+
+TEST(HttpRequestTest, ConnectionCloseAndHttp10Defaults) {
+  HttpRequest close_req = MustParse(
+      "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_FALSE(close_req.keep_alive);
+  HttpRequest http10 = MustParse("GET / HTTP/1.0\r\n\r\n");
+  EXPECT_FALSE(http10.keep_alive);
+  HttpRequest http10_keep = MustParse(
+      "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  EXPECT_TRUE(http10_keep.keep_alive);
+}
+
+TEST(HttpRequestTest, RejectsMalformedAndOversized) {
+  Pair pair;
+  ASSERT_TRUE(pair.feeder.WriteAll("BROKEN\r\n\r\n").ok());
+  pair.feeder.Close();
+  BufferedReader reader(&pair.reader_socket);
+  auto line = reader.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_FALSE(ReadHttpRequest(&reader, *line).ok());
+
+  Pair big;
+  ASSERT_TRUE(big.feeder
+                  .WriteAll("POST /query HTTP/1.1\r\n"
+                            "Content-Length: 999999999\r\n\r\n")
+                  .ok());
+  big.feeder.Close();
+  BufferedReader big_reader(&big.reader_socket);
+  auto big_line = big_reader.ReadLine();
+  ASSERT_TRUE(big_line.ok());
+  auto status = ReadHttpRequest(&big_reader, *big_line);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HttpResponseTest, SerialisesWithLengthAndConnection) {
+  HttpResponse resp(200, "{\"ok\":true}");
+  resp.SetHeader("Retry-After", "1");
+  std::string wire = SerializeResponse(resp, /*keep_alive=*/false);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+}
+
+TEST(HttpRoundTripTest, ClientParsesServerResponse) {
+  Pair pair;
+  HttpResponse resp(503, "{\"error\":\"full\"}\n");
+  resp.SetHeader("Retry-After", "1");
+  ASSERT_TRUE(
+      pair.feeder.WriteAll(SerializeResponse(resp, /*keep_alive=*/true))
+          .ok());
+  BufferedReader reader(&pair.reader_socket);
+  auto parsed = ReadHttpResponse(&reader);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, 503);
+  EXPECT_EQ(parsed->headers.at("retry-after"), "1");
+  EXPECT_EQ(parsed->body, "{\"error\":\"full\"}\n");
+}
+
+TEST(BufferedReaderTest, SplitsLinesAcrossReads) {
+  Pair pair;
+  ASSERT_TRUE(pair.feeder.WriteAll("line one\r\nline two\nline three").ok());
+  pair.feeder.Close();
+  BufferedReader reader(&pair.reader_socket);
+  EXPECT_EQ(reader.ReadLine().value(), "line one");
+  EXPECT_EQ(reader.ReadLine().value(), "line two");
+  EXPECT_EQ(reader.ReadLine().value(), "line three");  // unterminated tail
+  EXPECT_FALSE(reader.ReadLine().ok());                // EOF
+}
+
+TEST(ListenSocketTest, LoopbackConnectAndEcho) {
+  auto listener = ListenSocket::Bind(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  ASSERT_GT(listener->port(), 0);
+
+  auto client = Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  auto served = listener->Accept();
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  ASSERT_TRUE(client->WriteAll("ping\n").ok());
+  BufferedReader reader(&*served);
+  EXPECT_EQ(reader.ReadLine().value(), "ping");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace scube

@@ -1,0 +1,73 @@
+// Regression tests for the result serialisations, in particular JSON
+// string escaping: attribute values containing quotes, backslashes or
+// control characters must yield valid JSON (they reach ToJson via the
+// catalog labels, and reach HTTP clients via scubed's /query handler).
+
+#include "query/query_result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace scube {
+namespace query {
+namespace {
+
+QueryResult MakeResult(const std::string& sa_label,
+                       const std::string& ca_label) {
+  QueryResult result;
+  result.verb = Verb::kSlice;
+  ResultRow row;
+  row.sa = sa_label;
+  row.ca = ca_label;
+  row.t = 10;
+  row.m = 4;
+  row.units = 2;
+  row.defined = true;
+  result.rows.push_back(row);
+  return result;
+}
+
+TEST(QueryResultJsonTest, EscapesQuotesBackslashesAndControls) {
+  QueryResult result =
+      MakeResult("sector=say \"hi\"", "region=back\\slash\nnewline");
+  std::string json = ToJson(result);
+
+  EXPECT_NE(json.find("\"sa\":\"sector=say \\\"hi\\\"\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ca\":\"region=back\\\\slash\\nnewline\""),
+            std::string::npos)
+      << json;
+  // No raw control characters survive anywhere in the output.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << json;
+  }
+}
+
+TEST(QueryResultJsonTest, EscapesVerbSpecificStringColumns) {
+  QueryResult result = MakeResult("sex=F", "region=north");
+  result.has_tag = true;
+  result.tag_name = "di\"rection";
+  result.rows[0].tag = "mask\"ed";
+  std::string json = ToJson(result);
+  EXPECT_NE(json.find("\"di\\\"rection\":\"mask\\\"ed\""), std::string::npos)
+      << json;
+}
+
+TEST(QueryResultJsonTest, UndefinedIndexesSerialiseAsNull) {
+  QueryResult result = MakeResult("sex=F", "region=north");
+  result.rows[0].defined = false;
+  std::string json = ToJson(result);
+  EXPECT_NE(json.find("\"dissimilarity\":null"), std::string::npos) << json;
+}
+
+TEST(QueryResultCsvTest, QuotesFieldsWithSeparators) {
+  QueryResult result = MakeResult("sector=a,b", "note=say \"hi\"");
+  std::string csv = ToCsv(result);
+  EXPECT_NE(csv.find("\"sector=a,b\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"note=say \"\"hi\"\"\""), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace scube

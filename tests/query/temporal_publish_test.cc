@@ -1,0 +1,95 @@
+// Temporal snapshots in the serving layer: each date's cube is published
+// into the CubeStore as its own sealed version, addressable from SCubeQL
+// as `FROM name@version`.
+
+#include "query/temporal_publish.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/scenarios.h"
+#include "query/service.h"
+
+namespace scube {
+namespace query {
+namespace {
+
+pipeline::PipelineConfig SectorConfig() {
+  pipeline::PipelineConfig config;
+  config.unit_source = pipeline::UnitSource::kGroupAttribute;
+  config.group_unit_attribute = "sector";
+  config.cube.min_support = 2;
+  config.cube.mode = fpm::MineMode::kAll;
+  config.cube.max_sa_items = 1;
+  config.cube.max_ca_items = 0;
+  return config;
+}
+
+TEST(TemporalPublishTest, PublishesOneVersionPerDate) {
+  auto scenario =
+      datagen::GenerateScenario(datagen::EstonianConfig(0.003, 31));
+  ASSERT_TRUE(scenario.ok());
+
+  std::vector<graph::Date> dates{2000, 2005, 2010};
+  pipeline::TrackedCell female;
+  female.sa = {{"gender", "F"}};
+
+  CubeStore store(/*max_versions=*/4);
+  auto result = RunTemporalAnalysisPublished(
+      &store, "estonia", scenario->inputs, SectorConfig(), dates, {female});
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // One version per date, in date order, all retained.
+  ASSERT_EQ(result->versions.size(), dates.size());
+  EXPECT_EQ(result->versions, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(store.RetainedVersions("estonia"),
+            (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(result->cube_name, "estonia");
+
+  // The tracked-cell series is unchanged by publishing.
+  ASSERT_EQ(result->temporal.series.size(), 1u);
+  ASSERT_EQ(result->temporal.series[0].size(), dates.size());
+
+  // Each snapshot is queryable through SCubeQL via `FROM name@version`,
+  // and the published cell agrees with the tracked-cell extraction.
+  QueryService service(&store, ServiceOptions{});
+  for (size_t j = 0; j < dates.size(); ++j) {
+    const pipeline::TemporalPoint& point = result->temporal.series[0][j];
+    if (!point.defined) continue;
+    auto resp = service.ExecuteOne(
+        "SLICE sa=gender=F FROM estonia@" +
+        std::to_string(result->versions[j]));
+    ASSERT_TRUE(resp.status.ok()) << resp.status;
+    EXPECT_EQ(resp.cube_version, result->versions[j]);
+    bool found = false;
+    for (const auto& row : resp.result.rows) {
+      if (row.ca == "*") {
+        EXPECT_EQ(row.t, point.context_size);
+        EXPECT_EQ(row.m, point.minority_size);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "no * context row at date "
+                       << result->temporal.dates[j];
+  }
+}
+
+TEST(TemporalPublishTest, RejectsStoresWithTooFewRetainedVersions) {
+  auto scenario =
+      datagen::GenerateScenario(datagen::EstonianConfig(0.002, 41));
+  ASSERT_TRUE(scenario.ok());
+  pipeline::TrackedCell female;
+  female.sa = {{"gender", "F"}};
+
+  CubeStore store(/*max_versions=*/2);
+  auto result = RunTemporalAnalysisPublished(
+      &store, "estonia", scenario->inputs, SectorConfig(),
+      {2000, 2005, 2010}, {female});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("evicted mid-run"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace scube

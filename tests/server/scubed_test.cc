@@ -1,0 +1,260 @@
+// Loopback integration tests for the scubed front-end: a real server on
+// an ephemeral port, driven over real sockets — request in, JSON out,
+// correct cells; plus the 503 shed path, per-request deadlines, the line
+// protocol, and graceful Stop().
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/socket.h"
+#include "server/router.h"
+
+namespace scube {
+namespace server {
+namespace {
+
+cube::SegregationCube MakeCube(double f_north_dissimilarity) {
+  relational::ItemCatalog catalog;
+  using relational::AttributeKind;
+  catalog.GetOrAdd(0, "sex", "F", AttributeKind::kSegregation);     // id 0
+  catalog.GetOrAdd(1, "region", "north", AttributeKind::kContext);  // id 1
+  catalog.GetOrAdd(2, "region", "south", AttributeKind::kContext);  // id 2
+
+  auto make_cell = [](std::vector<fpm::ItemId> sa,
+                      std::vector<fpm::ItemId> ca, uint64_t t, uint64_t m,
+                      double d) {
+    cube::CubeCell cell;
+    cell.coords = cube::CellCoordinates{fpm::Itemset(std::move(sa)),
+                                        fpm::Itemset(std::move(ca))};
+    cell.context_size = t;
+    cell.minority_size = m;
+    cell.num_units = 2;
+    cell.indexes.defined = true;
+    cell.indexes.values[static_cast<size_t>(
+        indexes::IndexKind::kDissimilarity)] = d;
+    return cell;
+  };
+  cube::SegregationCube cube(std::move(catalog), {"u0", "u1"});
+  cube.Insert(make_cell({0}, {}, 100, 40, 0.10));
+  cube.Insert(make_cell({0}, {1}, 60, 25, 0.5));
+  cube.Insert(make_cell({0}, {2}, 40, 15, f_north_dissimilarity));
+  return cube;
+}
+
+/// A running server over a fresh store/service, bound to an ephemeral
+/// loopback port.
+struct Fixture {
+  query::CubeStore store;
+  query::QueryService service;
+  ScubedServer server;
+
+  explicit Fixture(query::ServiceOptions service_options = {})
+      : service(&store, service_options),
+        server(&service, &store, MakeServerOptions()) {
+    store.Publish("default", MakeCube(0.2));
+    Status started = server.Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  static ServerOptions MakeServerOptions() {
+    ServerOptions options;
+    options.port = 0;
+    options.loopback_only = true;
+    options.num_connection_threads = 4;
+    options.idle_poll_seconds = 0.1;  // fast Stop() in tests
+    return options;
+  }
+
+  Result<net::HttpClientResponse> Call(const std::string& method,
+                                       const std::string& target,
+                                       const std::string& body = "") {
+    auto connected = net::Connect("127.0.0.1", server.port());
+    if (!connected.ok()) return connected.status();
+    net::Socket socket = std::move(connected).value();
+    net::BufferedReader reader(&socket);
+    return net::RoundTrip(&socket, &reader, method, target, body);
+  }
+};
+
+TEST(ScubedTest, HealthzAnswers) {
+  Fixture fx;
+  auto resp = fx.Call("GET", "/healthz");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ScubedTest, QueryReturnsCorrectCellsAsJson) {
+  Fixture fx;
+  auto resp = fx.Call("POST", "/query", "SLICE sa=sex=F | ca=region=north");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  // The north cell: T=60, M=25, dissimilarity 0.5.
+  EXPECT_NE(resp->body.find("\"code\":\"OK\""), std::string::npos)
+      << resp->body;
+  EXPECT_NE(resp->body.find("\"T\":60"), std::string::npos) << resp->body;
+  EXPECT_NE(resp->body.find("\"M\":25"), std::string::npos) << resp->body;
+  EXPECT_NE(resp->body.find("\"dissimilarity\":0.5"), std::string::npos)
+      << resp->body;
+}
+
+TEST(ScubedTest, BatchAndCsvFormat) {
+  Fixture fx;
+  auto resp = fx.Call("POST", "/query?format=csv",
+                      "SLICE sa=sex=F | ca=region=north\n"
+                      "TOPK 1 BY dissimilarity WHERE M >= 1\n");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->headers.at("content-type"), "text/csv");
+  EXPECT_NE(resp->body.find("# query 0:"), std::string::npos) << resp->body;
+  EXPECT_NE(resp->body.find("# query 1:"), std::string::npos) << resp->body;
+  EXPECT_NE(resp->body.find("sa,ca,T,M,units"), std::string::npos);
+  EXPECT_NE(resp->body.find("sex=F,region=north,60,25,2"),
+            std::string::npos)
+      << resp->body;
+}
+
+TEST(ScubedTest, PerQueryErrorsAreReportedInBand) {
+  Fixture fx;
+  auto resp = fx.Call("POST", "/query",
+                      "TOPK 1 BY\nSLICE sa=sex=F | ca=region=north");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);  // batch-level OK, per-query codes in body
+  EXPECT_NE(resp->body.find("\"code\":\"ParseError\""), std::string::npos)
+      << resp->body;
+  EXPECT_NE(resp->body.find("\"code\":\"OK\""), std::string::npos)
+      << resp->body;
+}
+
+TEST(ScubedTest, BadRequestsAnswer4xx) {
+  Fixture fx;
+  auto empty = fx.Call("POST", "/query", "\n# comment only\n");
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(empty->status, 400);
+
+  auto format = fx.Call("POST", "/query?format=xml", "TOPK 1 BY gini");
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ(format->status, 400);
+
+  auto missing = fx.Call("GET", "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  auto method = fx.Call("GET", "/query");
+  ASSERT_TRUE(method.ok());
+  EXPECT_EQ(method->status, 405);
+}
+
+TEST(ScubedTest, AdmissionShedsWith503AndRetryAfter) {
+  query::ServiceOptions options;
+  options.max_pending = 0;  // shed everything
+  Fixture fx(options);
+  auto resp = fx.Call("POST", "/query", "TOPK 1 BY dissimilarity");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 503);
+  EXPECT_EQ(resp->headers.at("retry-after"), "1");
+  EXPECT_NE(resp->body.find("admission queue full"), std::string::npos)
+      << resp->body;
+}
+
+TEST(ScubedTest, DeadlineParamYieldsDeadlineExceededCode) {
+  Fixture fx;
+  // A microsecond deadline expires long before any worker chunk runs
+  // (parse + enqueue + wakeup alone dwarf it).
+  auto resp = fx.Call("POST", "/query?deadline_ms=0.001",
+                      "SLICE sa=sex=F | ca=region=north");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("\"code\":\"DeadlineExceeded\""),
+            std::string::npos)
+      << resp->body;
+}
+
+TEST(ScubedTest, NonPositiveDeadlineParamIsRejected) {
+  Fixture fx;
+  auto zero = fx.Call("POST", "/query?deadline_ms=0", "TOPK 1 BY gini");
+  ASSERT_TRUE(zero.ok()) << zero.status();
+  EXPECT_EQ(zero->status, 400);
+  auto negative = fx.Call("POST", "/query?deadline_ms=-5", "TOPK 1 BY gini");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->status, 400);
+}
+
+TEST(ScubedTest, CubesAndMetricsEndpoints) {
+  Fixture fx;
+  ASSERT_TRUE(fx.Call("POST", "/query", "TOPK 1 BY dissimilarity WHERE M >= 1")
+                  .ok());
+
+  auto cubes = fx.Call("GET", "/cubes");
+  ASSERT_TRUE(cubes.ok());
+  EXPECT_EQ(cubes->status, 200);
+  EXPECT_NE(cubes->body.find("\"name\":\"default\""), std::string::npos);
+  EXPECT_NE(cubes->body.find("\"version\":1"), std::string::npos);
+
+  auto metrics = fx.Call("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("scubed_queries_accepted_total 1"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(metrics->body.find("scubed_connections_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("scubed_cache_hit_rate"), std::string::npos);
+}
+
+TEST(ScubedTest, KeepAliveServesMultipleRequestsOnOneConnection) {
+  Fixture fx;
+  auto connected = net::Connect("127.0.0.1", fx.server.port());
+  ASSERT_TRUE(connected.ok());
+  net::Socket socket = std::move(connected).value();
+  net::BufferedReader reader(&socket);
+
+  for (int i = 0; i < 3; ++i) {
+    auto resp = net::RoundTrip(&socket, &reader, "POST", "/query",
+                               "TOPK 1 BY dissimilarity WHERE M >= 1");
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    EXPECT_EQ(resp->status, 200);
+  }
+}
+
+TEST(ScubedTest, LineProtocolAnswersOneJsonPerLine) {
+  Fixture fx;
+  auto connected = net::Connect("127.0.0.1", fx.server.port());
+  ASSERT_TRUE(connected.ok());
+  net::Socket socket = std::move(connected).value();
+  ASSERT_TRUE(socket
+                  .WriteAll("SLICE sa=sex=F | ca=region=north\n"
+                            "TOPK 1 BY\n")
+                  .ok());
+  net::BufferedReader reader(&socket);
+  auto first = reader.ReadLine();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_NE(first->find("\"code\":\"OK\""), std::string::npos) << *first;
+  EXPECT_NE(first->find("\"T\":60"), std::string::npos) << *first;
+  auto second = reader.ReadLine();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_NE(second->find("\"code\":\"ParseError\""), std::string::npos)
+      << *second;
+  ASSERT_TRUE(socket.WriteAll("QUIT\n").ok());
+}
+
+TEST(ScubedTest, StopIsGracefulAndIdempotent) {
+  Fixture fx;
+  ASSERT_TRUE(
+      fx.Call("POST", "/query", "TOPK 1 BY dissimilarity WHERE M >= 1").ok());
+  fx.server.Stop();
+  fx.server.Stop();  // idempotent
+  EXPECT_FALSE(fx.server.running());
+  // The service outlives the server and still answers direct calls.
+  auto direct = fx.service.ExecuteOne("TOPK 1 BY dissimilarity WHERE M >= 1");
+  EXPECT_TRUE(direct.status.ok()) << direct.status;
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace scube
