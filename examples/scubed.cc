@@ -16,6 +16,8 @@
 //   --cache N         result-cache entries (default 512)
 //   --conns N         connection handler threads (default 8)
 //   --scale S         demo scenario scale (default 0.002)
+//   --threads N       cube build + publish-seal threads (1 = sequential,
+//                     0 = all hardware threads; default 1)
 //   --demo            build + publish the demo cubes before serving
 //
 // Talk to it:
@@ -46,7 +48,8 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
 
-bool BuildAndPublishDemo(query::QueryService* service, double scale) {
+bool BuildAndPublishDemo(query::QueryService* service, double scale,
+                         size_t build_threads) {
   auto scenario = datagen::GenerateScenario(datagen::ItalianConfig(scale));
   if (!scenario.ok()) {
     std::fprintf(stderr, "scenario: %s\n",
@@ -64,6 +67,7 @@ bool BuildAndPublishDemo(query::QueryService* service, double scale) {
   config.cube.mode = fpm::MineMode::kClosed;
   config.cube.max_sa_items = 2;
   config.cube.max_ca_items = 1;
+  config.cube.num_threads = build_threads;
   auto result = pipeline::RunPipeline(scenario->inputs, config);
   if (!result.ok()) {
     std::fprintf(stderr, "pipeline: %s\n", result.status().ToString().c_str());
@@ -81,6 +85,7 @@ bool BuildAndPublishDemo(query::QueryService* service, double scale) {
   sectors.cube.mode = fpm::MineMode::kClosed;
   sectors.cube.max_sa_items = 2;
   sectors.cube.max_ca_items = 1;
+  sectors.cube.num_threads = build_threads;
   auto sector_result = pipeline::RunPipeline(scenario->inputs, sectors);
   if (!sector_result.ok()) {
     std::fprintf(stderr, "pipeline: %s\n",
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
   service_options.default_deadline_ms = 1000;
   server::ServerOptions server_options;
   double scale = 0.002;
+  size_t build_threads = 1;
   bool demo = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -132,6 +138,9 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atol(next("--conns")));
     } else if (std::strcmp(argv[i], "--scale") == 0) {
       scale = std::atof(next("--scale"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      build_threads = static_cast<size_t>(std::atol(next("--threads")));
+      service_options.seal_threads = build_threads;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {
@@ -147,7 +156,7 @@ int main(int argc, char** argv) {
 
   query::CubeStore store;
   query::QueryService service(&store, service_options);
-  if (demo && !BuildAndPublishDemo(&service, scale)) return 1;
+  if (demo && !BuildAndPublishDemo(&service, scale, build_threads)) return 1;
 
   server::ScubedServer server(&service, &store, server_options);
   Status started = server.Start();

@@ -1,0 +1,167 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace scube {
+
+namespace {
+
+// Worker-thread marker: set while a thread runs this pool's WorkerLoop, so
+// Submit() can detect nested submission and run inline.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+// Shared between a ParallelFor call and its helper tasks. Helpers hold a
+// shared_ptr, so a helper scheduled after the caller returned still finds
+// live (but exhausted) state and exits without touching `fn`.
+struct ThreadPool::ForState {
+  size_t n = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;  // caller-owned
+  std::atomic<size_t> next{0};         // next unclaimed index
+  std::atomic<size_t> next_worker{1};  // helper worker ids (caller is 0)
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t in_flight = 0;  // helpers currently inside Drain()
+  std::exception_ptr error;
+
+  // Claims and runs indices until the range is exhausted or cancelled.
+  // `fn` is only dereferenced for a successfully claimed index; every
+  // index is claimed before the caller returns, so a late helper never
+  // touches the (by then dead) caller-owned closure.
+  void Drain(size_t worker) {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(worker, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain before exiting, so ~ThreadPool never abandons a future.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (current_pool == this) {
+    task();  // nested submit: run inline, never wait behind ourselves
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(
+        [t = std::make_shared<std::packaged_task<void()>>(std::move(task))] {
+          (*t)();
+        });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t max_workers,
+    const std::function<void(size_t worker, size_t index)>& fn) {
+  if (n == 0) return;
+  size_t workers = std::max<size_t>(1, max_workers);
+  if (n == 1 || workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  // Helpers beyond the range size (or the pool size) would only contend.
+  size_t helpers = std::min({workers - 1, n - 1, num_threads()});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([state] {
+        size_t worker = state->next_worker.fetch_add(1);
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          ++state->in_flight;
+        }
+        state->Drain(worker);
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          --state->in_flight;
+        }
+        state->cv.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  state->Drain(/*worker=*/0);  // the caller participates
+
+  // Every index is claimed by now; wait only for helpers mid-body.
+  // Not-yet-started helpers will find the range exhausted and exit
+  // without touching `fn` or the caller's stack.
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->in_flight == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t index)>& fn) {
+  ParallelFor(n, num_threads() + 1,
+              [&fn](size_t /*worker*/, size_t i) { fn(i); });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(EffectiveThreads(0));
+  return pool;
+}
+
+size_t ThreadPool::EffectiveThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace scube

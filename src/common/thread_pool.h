@@ -1,0 +1,99 @@
+// Fixed-size thread pool shared by every subsystem that fans work out
+// (parallel cube fill, parallel Seal(), future batch jobs).
+//
+// Deliberately small and work-stealing-free: a mutex-guarded FIFO queue,
+// N worker threads, and two entry points:
+//
+//   - Submit(fn)            -> std::future<void> for fire-and-wait tasks;
+//   - ParallelFor(n, w, fn) -> blocks until fn ran for every index in
+//                              [0, n), with at most `w` concurrent
+//                              participants (the caller is one of them).
+//
+// Deadlock avoidance is by construction, not by stealing:
+//
+//   - ParallelFor claims indices from a shared atomic counter and the
+//     *calling thread participates*: even when every pool worker is busy
+//     (or the pool is the caller's own pool, nested arbitrarily deep),
+//     the caller alone drains the range and returns. Helper tasks that
+//     only get scheduled after the range is exhausted find nothing to
+//     claim and return immediately — the call never blocks on a task
+//     that has not started.
+//   - Submit() from inside a pool worker runs the task inline (a queued
+//     task could otherwise wait forever behind the very worker that
+//     submitted it).
+//
+// Exceptions thrown by ParallelFor bodies cancel the remaining indices
+// and the first one is rethrown on the calling thread. Determinism is the
+// caller's job: have fn(worker, i) write only to slot i (plus per-worker
+// scratch) and merge slots in index order — then the result is identical
+// for every thread count, including 1.
+
+#ifndef SCUBE_COMMON_THREAD_POOL_H_
+#define SCUBE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scube {
+
+/// \brief Fixed pool of worker threads with a ParallelFor/futures API.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue (every submitted task still runs) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `fn`; the future becomes ready when it ran (or holds its
+  /// exception). Called from one of this pool's own workers, `fn` runs
+  /// inline instead — see the deadlock note above.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(worker, index) for every index in [0, n), claiming indices
+  /// dynamically. At most `max_workers` participants run concurrently
+  /// (clamped to >= 1), each with a distinct `worker` id in
+  /// [0, max_workers); the calling thread is participant 0. Blocks until
+  /// the whole range completed; rethrows the first body exception after
+  /// cancelling unclaimed indices.
+  void ParallelFor(size_t n, size_t max_workers,
+                   const std::function<void(size_t worker, size_t index)>& fn);
+
+  /// ParallelFor over all pool threads plus the caller.
+  void ParallelFor(size_t n, const std::function<void(size_t index)>& fn);
+
+  /// Process-wide shared pool, lazily created with
+  /// hardware_concurrency() threads. Use ParallelFor's `max_workers` to
+  /// bound a caller's parallelism instead of building private pools.
+  static ThreadPool& Shared();
+
+  /// Resolves a `num_threads` option: 0 = hardware concurrency (>= 1),
+  /// anything else is taken literally.
+  static size_t EffectiveThreads(size_t num_threads);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace scube
+
+#endif  // SCUBE_COMMON_THREAD_POOL_H_

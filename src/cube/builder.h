@@ -51,19 +51,31 @@ struct CubeBuilderOptions {
   /// kAll: every frequent coordinate combination becomes a cell.
   fpm::MineMode mode = fpm::MineMode::kClosed;
 
+  /// Worker threads for the cell-filling phase (mining stays sequential).
+  /// 1 = sequential, 0 = all hardware threads, N = at most N threads from
+  /// the shared pool. Output is identical for every setting: itemsets are
+  /// grouped by context, each context is computed exactly once by exactly
+  /// one worker, and group outputs merge in deterministic order.
+  size_t num_threads = 1;
+
   /// Atkinson parameter etc.
   indexes::IndexParams index_params;
 };
 
 /// \brief Build statistics (reported by the demo's efficiency discussion).
+/// All `seconds_*` timers are wall time of the phase, never summed worker
+/// time — with num_threads > 1, seconds_filling is the elapsed time of the
+/// whole parallel fill, so fill speedup = sequential / parallel directly.
 struct CubeBuildStats {
   uint64_t mined_itemsets = 0;
   uint64_t cells_created = 0;
   uint64_t cells_defined = 0;
   uint64_t contexts_memoized = 0;
+  uint32_t threads_used = 1;      ///< effective fill-phase parallelism
   double seconds_encoding = 0.0;
   double seconds_mining = 0.0;
-  double seconds_filling = 0.0;
+  double seconds_grouping = 0.0;  ///< split/filter/group-by-context prepass
+  double seconds_filling = 0.0;   ///< wall time of the (parallel) fill
 };
 
 /// Builds the cube from an already-encoded relation.

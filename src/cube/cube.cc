@@ -32,20 +32,20 @@ size_t SegregationCube::NumDefinedCells() const {
   return count;
 }
 
-CubeView SegregationCube::Seal() const& {
+CubeView SegregationCube::Seal(size_t num_threads) const& {
   std::vector<CubeCell> cells;
   cells.reserve(cells_.size());
   for (const auto& [coords, cell] : cells_) cells.push_back(cell);
-  return CubeView(catalog_, unit_labels_, std::move(cells));
+  return CubeView(catalog_, unit_labels_, std::move(cells), num_threads);
 }
 
-CubeView SegregationCube::Seal() && {
+CubeView SegregationCube::Seal(size_t num_threads) && {
   std::vector<CubeCell> cells;
   cells.reserve(cells_.size());
   for (auto& [coords, cell] : cells_) cells.push_back(std::move(cell));
   cells_.clear();
   return CubeView(std::move(catalog_), std::move(unit_labels_),
-                  std::move(cells));
+                  std::move(cells), num_threads);
 }
 
 std::vector<const CubeCell*> SegregationCube::Cells() const {

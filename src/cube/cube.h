@@ -55,8 +55,12 @@ class SegregationCube {
   /// Freezes the cube into an immutable, indexed CubeView. The const
   /// overload copies the cells (the cube stays usable for further builds);
   /// the rvalue overload moves cells, catalog and labels into the view.
-  CubeView Seal() const&;
-  CubeView Seal() &&;
+  /// `num_threads` parallelises the view's index construction (posting
+  /// lists, slice groups, adjacency, ranked orders) on the shared pool:
+  /// 1 = sequential, 0 = all hardware threads, N = at most N threads.
+  /// The sealed view is identical for every setting.
+  CubeView Seal(size_t num_threads = 1) const&;
+  CubeView Seal(size_t num_threads = 1) &&;
 
   /// All cells in deterministic order (by coordinate). Allocates and sorts
   /// per call — the naive reference path; sealed views expose a stable,

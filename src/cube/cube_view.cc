@@ -4,13 +4,14 @@
 
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace scube {
 namespace cube {
 
 CubeView::CubeView(relational::ItemCatalog catalog,
                    std::vector<std::string> unit_labels,
-                   std::vector<CubeCell> cells)
+                   std::vector<CubeCell> cells, size_t num_threads)
     : catalog_(std::move(catalog)),
       unit_labels_(std::move(unit_labels)),
       cells_(std::move(cells)) {
@@ -36,57 +37,90 @@ CubeView::CubeView(relational::ItemCatalog catalog,
   // universe to cover both.
   num_items_ = std::max(max_item, catalog_.size());
 
-  BuildPostings();
-  BuildSliceGroups();
-  BuildAdjacency();
-  BuildRankedOrders();
-}
-
-void CubeView::BuildPostings() {
-  auto build = [this](bool sa_axis, Csr* csr) {
-    csr->offsets.assign(num_items_ + 1, 0);
-    for (const CubeCell& cell : cells_) {
-      const fpm::Itemset& axis = sa_axis ? cell.coords.sa : cell.coords.ca;
-      for (fpm::ItemId item : axis.items()) ++csr->offsets[item + 1];
-    }
-    for (size_t i = 1; i < csr->offsets.size(); ++i) {
-      csr->offsets[i] += csr->offsets[i - 1];
-    }
-    csr->ids.resize(csr->offsets.back());
-    std::vector<uint32_t> cursor(csr->offsets.begin(), csr->offsets.end() - 1);
-    // Cells visited in id order, so every posting list comes out ascending.
-    for (size_t i = 0; i < cells_.size(); ++i) {
-      const fpm::Itemset& axis =
-          sa_axis ? cells_[i].coords.sa : cells_[i].coords.ca;
-      for (fpm::ItemId item : axis.items()) {
-        csr->ids[cursor[item]++] = static_cast<CellId>(i);
-      }
-    }
-  };
-  build(/*sa_axis=*/true, &sa_postings_);
-  build(/*sa_axis=*/false, &ca_postings_);
-}
-
-void CubeView::BuildSliceGroups() {
+  std::vector<CellId> defined;
+  defined.reserve(num_defined_);
   for (size_t i = 0; i < cells_.size(); ++i) {
-    sa_groups_[cells_[i].coords.sa].push_back(static_cast<CellId>(i));
-    ca_groups_[cells_[i].coords.ca].push_back(static_cast<CellId>(i));
+    if (cells_[i].indexes.defined) defined.push_back(static_cast<CellId>(i));
+  }
+
+  // From here every structure reads only the sorted cells_ / id map and
+  // writes its own member, so the builds are independent tasks. Adjacency
+  // (the heavy one: a hash probe per cell per coordinate item) additionally
+  // parallelises its per-cell probes on the same pool.
+  const size_t threads = ThreadPool::EffectiveThreads(num_threads);
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([this] { BuildPostings(true, &sa_postings_); });
+  tasks.emplace_back([this] { BuildPostings(false, &ca_postings_); });
+  tasks.emplace_back([this] { BuildSliceGroups(true, &sa_groups_); });
+  tasks.emplace_back([this] { BuildSliceGroups(false, &ca_groups_); });
+  tasks.emplace_back([this, threads] { BuildAdjacency(threads); });
+  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+    tasks.emplace_back(
+        [this, kind, &defined] { BuildRankedOrder(kind, defined); });
+  }
+  // Sequential seals stay off the shared pool entirely (Shared() spawns
+  // hardware_concurrency workers on first touch).
+  if (threads <= 1) {
+    for (const auto& task : tasks) task();
+  } else {
+    ThreadPool::Shared().ParallelFor(
+        tasks.size(), threads,
+        [&tasks](size_t /*worker*/, size_t t) { tasks[t](); });
   }
 }
 
-void CubeView::BuildAdjacency() {
+void CubeView::BuildPostings(bool sa_axis, Csr* csr) {
+  csr->offsets.assign(num_items_ + 1, 0);
+  for (const CubeCell& cell : cells_) {
+    const fpm::Itemset& axis = sa_axis ? cell.coords.sa : cell.coords.ca;
+    for (fpm::ItemId item : axis.items()) ++csr->offsets[item + 1];
+  }
+  for (size_t i = 1; i < csr->offsets.size(); ++i) {
+    csr->offsets[i] += csr->offsets[i - 1];
+  }
+  csr->ids.resize(csr->offsets.back());
+  std::vector<uint32_t> cursor(csr->offsets.begin(), csr->offsets.end() - 1);
+  // Cells visited in id order, so every posting list comes out ascending.
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const fpm::Itemset& axis =
+        sa_axis ? cells_[i].coords.sa : cells_[i].coords.ca;
+    for (fpm::ItemId item : axis.items()) {
+      csr->ids[cursor[item]++] = static_cast<CellId>(i);
+    }
+  }
+}
+
+void CubeView::BuildSliceGroups(bool sa_axis, SliceGroups* groups) {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const fpm::Itemset& axis =
+        sa_axis ? cells_[i].coords.sa : cells_[i].coords.ca;
+    (*groups)[axis].push_back(static_cast<CellId>(i));
+  }
+}
+
+void CubeView::BuildAdjacency(size_t num_threads) {
   // Parents of cell c: remove one item from SA (items ascending), then one
   // from CA; keep the coordinates present in the cube. The removal order is
   // part of the contract (ROLLUP row order), so it is preserved as built.
+  // Each cell's probe is independent, writes only slot c, and reads the
+  // frozen id map — so the probes fan out across the pool.
   std::vector<std::vector<CellId>> parents(cells_.size());
+  auto probe = [&](size_t c) { parents[c] = ProbeParents(cells_[c].coords); };
+  if (num_threads <= 1 || cells_.size() < 2) {
+    for (size_t c = 0; c < cells_.size(); ++c) probe(c);
+  } else {
+    ThreadPool::Shared().ParallelFor(
+        cells_.size(), num_threads,
+        [&probe](size_t /*worker*/, size_t c) { probe(c); });
+  }
+
+  // Children are the parent relation transposed. `c` ascends, so every
+  // children list comes out in ascending id order = coordinate order (the
+  // order the mutable cube's Children() produced); no per-row sort needed.
   std::vector<std::vector<CellId>> children(cells_.size());
   for (size_t c = 0; c < cells_.size(); ++c) {
-    parents[c] = ProbeParents(cells_[c].coords);
     for (CellId p : parents[c]) children[p].push_back(static_cast<CellId>(c));
   }
-  // `c` ascends through that loop, so every children list is already in
-  // ascending id order = coordinate order (the order the mutable cube's
-  // Children() produced); no per-row sort needed.
 
   auto flatten = [this](const std::vector<std::vector<CellId>>& rows,
                         Csr* csr) {
@@ -104,21 +138,15 @@ void CubeView::BuildAdjacency() {
   flatten(children, &children_);
 }
 
-void CubeView::BuildRankedOrders() {
-  std::vector<CellId> defined;
-  defined.reserve(num_defined_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i].indexes.defined) defined.push_back(static_cast<CellId>(i));
-  }
-  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
-    std::vector<CellId>& order = ranked_[static_cast<size_t>(kind)];
-    order = defined;
-    std::sort(order.begin(), order.end(), [this, kind](CellId a, CellId b) {
-      double va = cells_[a].Value(kind), vb = cells_[b].Value(kind);
-      if (va != vb) return va > vb;
-      return a < b;  // id order == coordinate order
-    });
-  }
+void CubeView::BuildRankedOrder(indexes::IndexKind kind,
+                                const std::vector<CellId>& defined) {
+  std::vector<CellId>& order = ranked_[static_cast<size_t>(kind)];
+  order = defined;
+  std::sort(order.begin(), order.end(), [this, kind](CellId a, CellId b) {
+    double va = cells_[a].Value(kind), vb = cells_[b].Value(kind);
+    if (va != vb) return va > vb;
+    return a < b;  // id order == coordinate order
+  });
 }
 
 CubeView::CellId CubeView::FindId(const CellCoordinates& coords) const {

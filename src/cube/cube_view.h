@@ -50,9 +50,14 @@ class CubeView {
   /// Builds the view from raw parts. `SegregationCube::Seal()` is the
   /// intended entry point; this constructor exists for it and for tests.
   /// Cells must have distinct coordinates (any order; they are sorted).
+  /// `num_threads` parallelises index construction on the shared pool
+  /// (1 = sequential, 0 = hardware concurrency); the finished view is
+  /// identical for every value — the SA/CA posting builds, slice-group
+  /// builds, per-cell parent probes and the six ranked sorts run as
+  /// independent tasks whose outputs depend only on the sorted cells.
   CubeView(relational::ItemCatalog catalog,
            std::vector<std::string> unit_labels,
-           std::vector<CubeCell> cells);
+           std::vector<CubeCell> cells, size_t num_threads = 1);
 
   const relational::ItemCatalog& catalog() const { return catalog_; }
   const std::vector<std::string>& unit_labels() const { return unit_labels_; }
@@ -130,10 +135,11 @@ class CubeView {
   using SliceGroups =
       std::unordered_map<fpm::Itemset, std::vector<CellId>, fpm::ItemsetHash>;
 
-  void BuildPostings();
-  void BuildSliceGroups();
-  void BuildAdjacency();
-  void BuildRankedOrders();
+  void BuildPostings(bool sa_axis, Csr* csr);
+  void BuildSliceGroups(bool sa_axis, SliceGroups* groups);
+  void BuildAdjacency(size_t num_threads);
+  void BuildRankedOrder(indexes::IndexKind kind,
+                        const std::vector<CellId>& defined);
 
   /// One-item-removal parent probe, in the contract order (SA items
   /// ascending, then CA); shared by BuildAdjacency and ParentsOf.

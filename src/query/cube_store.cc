@@ -6,11 +6,11 @@ namespace scube {
 namespace query {
 
 uint64_t CubeStore::Publish(const std::string& name,
-                            cube::SegregationCube cube) {
+                            cube::SegregationCube cube, size_t num_threads) {
   // Seal outside the lock: index construction is the expensive part and
   // must not block readers of other cubes.
-  auto snapshot =
-      std::make_shared<const cube::CubeView>(std::move(cube).Seal());
+  auto snapshot = std::make_shared<const cube::CubeView>(
+      std::move(cube).Seal(num_threads));
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   uint64_t version = ++entry.latest;
@@ -72,8 +72,9 @@ std::vector<std::string> CubeStore::Names() const {
 }
 
 uint64_t PublishPipelineResult(CubeStore* store, const std::string& name,
-                               pipeline::PipelineResult&& result) {
-  return store->Publish(name, std::move(result.cube));
+                               pipeline::PipelineResult&& result,
+                               size_t num_threads) {
+  return store->Publish(name, std::move(result.cube), num_threads);
 }
 
 std::string ResultCache::MakeKey(const std::string& cube, uint64_t version,

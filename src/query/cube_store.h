@@ -50,8 +50,12 @@ class CubeStore {
   /// Seals the cube and publishes it under `name`; returns the new version
   /// (1 on first publish). Existing snapshots stay valid; versions older
   /// than the last `max_versions` are evicted from the store (readers
-  /// holding them keep them alive).
-  uint64_t Publish(const std::string& name, cube::SegregationCube cube);
+  /// holding them keep them alive). `num_threads` parallelises the seal
+  /// (see SegregationCube::Seal(): 1 = sequential, 0 = hardware, N = at
+  /// most N shared-pool threads) — the sealed view is identical either
+  /// way, only publish latency changes.
+  uint64_t Publish(const std::string& name, cube::SegregationCube cube,
+                   size_t num_threads = 1);
 
   /// Latest snapshot, or nullptr when no cube has that name. When
   /// `version` is non-null it receives the snapshot's version (0 when
@@ -85,9 +89,12 @@ class CubeStore {
 
 /// Publishes the cube a pipeline run produced. The rest of the
 /// PipelineResult (final table, clustering, timings) stays with the
-/// caller; only the cube enters the serving layer.
+/// caller; only the cube enters the serving layer. `num_threads`
+/// parallelises the seal (typically forwarded from the pipeline's
+/// cube.num_threads option).
 uint64_t PublishPipelineResult(CubeStore* store, const std::string& name,
-                               pipeline::PipelineResult&& result);
+                               pipeline::PipelineResult&& result,
+                               size_t num_threads = 1);
 
 /// \brief LRU cache of query results, keyed by (cube, version, canonical
 /// query text). Thread-safe. A new cube version changes the key, so stale

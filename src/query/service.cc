@@ -331,7 +331,8 @@ QueryService::PublishInfo QueryService::PublishAndWarm(
   // The warming set is decided by traffic up to now: the hottest cached
   // texts for this cube, across the versions currently in cache.
   std::vector<std::string> hottest = cache_.Hottest(name, options_.warm_top_n);
-  info.version = store_->Publish(name, std::move(cube));
+  info.version =
+      store_->Publish(name, std::move(cube), options_.seal_threads);
   if (hottest.empty()) return info;
 
   CubeStore::Snapshot snapshot = store_->GetVersion(name, info.version);

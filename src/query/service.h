@@ -64,6 +64,12 @@ struct ServiceOptions {
 
   /// Hottest cached query texts re-executed by PublishAndWarm().
   size_t warm_top_n = 8;
+
+  /// Threads sealing a cube at publish time (PublishAndWarm runs the seal
+  /// inline on the serving path, so this bounds publish latency):
+  /// 1 = sequential, 0 = all hardware threads, N = at most N threads from
+  /// the shared pool. The sealed view is identical for every setting.
+  size_t seal_threads = 1;
 };
 
 /// \brief Monotonic serving counters (exported by scubed's /metrics).

@@ -24,8 +24,10 @@ Result<TemporalPublishResult> RunTemporalAnalysisPublished(
   auto temporal = pipeline::RunTemporalAnalysis(
       inputs, config, dates, tracked,
       [&](graph::Date /*date*/, pipeline::PipelineResult&& result) {
-        out.versions.push_back(
-            PublishPipelineResult(store, name, std::move(result)));
+        // Seal with the same parallelism the cube build used: each date's
+        // publish sits on the run's critical path.
+        out.versions.push_back(PublishPipelineResult(
+            store, name, std::move(result), config.cube.num_threads));
       });
   if (!temporal.ok()) return temporal.status();
   out.temporal = std::move(temporal).value();

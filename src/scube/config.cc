@@ -115,6 +115,15 @@ Status SetKey(PipelineConfig* config, const std::string& key,
   if (key == "cube.atkinson_b") {
     return parse_double(&config->cube.index_params.atkinson_b);
   }
+  if (key == "cube.num_threads") {
+    auto v = ParseInt64(value);
+    if (!v.ok()) return v.status().WithContext(key);
+    if (v.value() < 0) {
+      return Status::InvalidArgument("cube.num_threads must be >= 0");
+    }
+    config->cube.num_threads = static_cast<size_t>(v.value());
+    return Status::OK();
+  }
   return Status::NotFound("unknown config key: " + key);
 }
 
@@ -177,6 +186,8 @@ std::string PipelineConfigToString(const PipelineConfig& config) {
                          : "maximal") + "\n";
   out += "cube.atkinson_b = " +
          FormatDouble(config.cube.index_params.atkinson_b, 3) + "\n";
+  out += "cube.num_threads = " + std::to_string(config.cube.num_threads) +
+         "\n";
   return out;
 }
 

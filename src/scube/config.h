@@ -36,6 +36,7 @@ namespace pipeline {
 ///   cube.miner             fpgrowth | eclat | apriori | brute-force
 ///   cube.mode              all | closed | maximal
 ///   cube.atkinson_b        <double in (0,1)>
+///   cube.num_threads       <integer, 1 = sequential, 0 = all hardware>
 ///
 /// Lines starting with '#' and blank lines are ignored.
 Result<PipelineConfig> ParsePipelineConfig(const std::string& text);

@@ -1,0 +1,155 @@
+// ThreadPool contract: ParallelFor covers exactly [0, n) with bounded
+// worker ids, empty ranges return immediately, body exceptions cancel and
+// rethrow on the caller, and nesting (ParallelFor inside ParallelFor,
+// Submit inside a pool task) cannot deadlock even on a single-thread pool.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace scube {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForDeterministicMergePattern) {
+  // The intended usage: fn(worker, i) writes only slot i; the merged
+  // result is identical for every worker bound, including 1.
+  ThreadPool pool(4);
+  constexpr size_t kN = 257;
+  auto run = [&](size_t max_workers) {
+    std::vector<uint64_t> out(kN, 0);
+    pool.ParallelFor(kN, max_workers,
+                     [&](size_t /*worker*/, size_t i) { out[i] = i * i + 1; });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(2));
+  EXPECT_EQ(run(1), run(5));
+}
+
+TEST(ThreadPoolTest, WorkerIdsStayWithinBound) {
+  ThreadPool pool(8);
+  constexpr size_t kWorkers = 3;
+  std::atomic<bool> out_of_bounds{false};
+  pool.ParallelFor(500, kWorkers, [&](size_t worker, size_t /*i*/) {
+    if (worker >= kWorkers) out_of_bounds = true;
+  });
+  EXPECT_FALSE(out_of_bounds.load());
+}
+
+TEST(ThreadPoolTest, EmptyRangeReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i) {
+                                  if (i == 17) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionCancelsUnclaimedIndices) {
+  ThreadPool pool(1);  // single participant -> strictly ordered claims
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(pool.ParallelFor(1000, 1,
+                                [&](size_t /*worker*/, size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 3) throw std::runtime_error("stop");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 4u);  // indices 0..3, then cancelled
+}
+
+TEST(ThreadPoolTest, SubmitRunsAndSignalsFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto f = pool.Submit([&] { value = 42; });
+  f.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // With one pool thread and the caller inside a pool task, a blocking
+  // fork-join would starve; the caller-participates design drains inline.
+  ThreadPool pool(1);
+  std::atomic<uint64_t> total{0};
+  auto f = pool.Submit([&] {
+    pool.ParallelFor(8, [&](size_t) {
+      pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+    });
+  });
+  f.get();
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsInlineInsteadOfDeadlocking) {
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  auto f = pool.Submit([&] {
+    // Queued-and-waited, this would sit behind the very task waiting on
+    // it; the pool runs nested submissions inline instead.
+    auto g = pool.Submit([&] { inner = 7; });
+    g.get();
+  });
+  f.get();
+  EXPECT_EQ(inner.load(), 7);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentParallelForsFromSubmittedTasks) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 16;
+  std::atomic<uint64_t> total{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (size_t t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.Submit(
+        [&] { pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); }); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), kTasks * 100u);
+}
+
+TEST(ThreadPoolTest, EffectiveThreadsResolvesAutoAndLiteral) {
+  EXPECT_GE(ThreadPool::EffectiveThreads(0), 1u);
+  EXPECT_EQ(ThreadPool::EffectiveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::EffectiveThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<int> n{0};
+  a.ParallelFor(32, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 32);
+}
+
+}  // namespace
+}  // namespace scube

@@ -275,7 +275,9 @@ TEST(CubeBuilderTest, StatsPopulated) {
   EXPECT_EQ(stats.cells_defined, cube->NumDefinedCells());
   EXPECT_GT(stats.contexts_memoized, 0u);
   EXPECT_GE(stats.seconds_mining, 0.0);
+  EXPECT_GE(stats.seconds_grouping, 0.0);
   EXPECT_GE(stats.seconds_filling, 0.0);
+  EXPECT_EQ(stats.threads_used, 1u);
 }
 
 TEST(CubeBuilderTest, AllMinerEnginesAgree) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace scube {
 namespace query {
 namespace {
@@ -34,6 +36,25 @@ TEST(CubeStoreTest, PublishGetVersion) {
   EXPECT_EQ(version, 2u);
   EXPECT_EQ(italy->NumCells(), 4u);
   EXPECT_EQ(store.Names(), (std::vector<std::string>{"estonia", "italy"}));
+}
+
+TEST(CubeStoreTest, ParallelSealPublishMatchesSequential) {
+  CubeStore store;
+  store.Publish("seq", CubeWithCells(64), /*num_threads=*/1);
+  store.Publish("par", CubeWithCells(64), /*num_threads=*/4);
+  auto seq = store.Get("seq");
+  auto par = store.Get("par");
+  ASSERT_NE(seq, nullptr);
+  ASSERT_NE(par, nullptr);
+  ASSERT_EQ(seq->NumCells(), par->NumCells());
+  for (size_t i = 0; i < seq->NumCells(); ++i) {
+    auto id = static_cast<cube::CubeView::CellId>(i);
+    EXPECT_EQ(seq->cell(id).coords, par->cell(id).coords);
+    fpm::ItemId item = static_cast<fpm::ItemId>(i);
+    auto sp = seq->SaPostings(item);
+    auto pp = par->SaPostings(item);
+    EXPECT_TRUE(std::equal(sp.begin(), sp.end(), pp.begin(), pp.end()));
+  }
 }
 
 TEST(CubeStoreTest, GetVersionServesRetainedVersionsOnly) {

@@ -35,6 +35,7 @@ cube.max_ca_items = 2
 cube.miner = eclat
 cube.mode = all
 cube.atkinson_b = 0.25
+cube.num_threads = 4
 )");
   ASSERT_TRUE(config.ok()) << config.status();
   EXPECT_EQ(config->unit_source, UnitSource::kGroupAttribute);
@@ -55,6 +56,7 @@ cube.atkinson_b = 0.25
   EXPECT_EQ(config->cube.miner, "eclat");
   EXPECT_EQ(config->cube.mode, fpm::MineMode::kAll);
   EXPECT_DOUBLE_EQ(config->cube.index_params.atkinson_b, 0.25);
+  EXPECT_EQ(config->cube.num_threads, 4u);
 }
 
 TEST(ConfigTest, RejectsUnknownKey) {
@@ -75,6 +77,8 @@ TEST(ConfigTest, RejectsBadValues) {
   EXPECT_FALSE(ParsePipelineConfig("cube.min_support = banana\n").ok());
   EXPECT_FALSE(ParsePipelineConfig("threshold.giant_only = maybe\n").ok());
   EXPECT_FALSE(ParsePipelineConfig("stoc.max_radius = -1\n").ok());
+  EXPECT_FALSE(ParsePipelineConfig("cube.num_threads = -2\n").ok());
+  EXPECT_FALSE(ParsePipelineConfig("cube.num_threads = many\n").ok());
 }
 
 TEST(ConfigTest, ErrorsCarryLineNumbers) {
@@ -90,6 +94,7 @@ TEST(ConfigTest, RoundTripThroughToString) {
   original.date = 1999;
   original.cube.min_support = 77;
   original.cube.mode = fpm::MineMode::kMaximal;
+  original.cube.num_threads = 8;
   original.stoc.tau = 0.35;
 
   auto parsed = ParsePipelineConfig(PipelineConfigToString(original));
@@ -99,6 +104,7 @@ TEST(ConfigTest, RoundTripThroughToString) {
   EXPECT_EQ(parsed->date, original.date);
   EXPECT_EQ(parsed->cube.min_support, original.cube.min_support);
   EXPECT_EQ(parsed->cube.mode, original.cube.mode);
+  EXPECT_EQ(parsed->cube.num_threads, original.cube.num_threads);
   EXPECT_DOUBLE_EQ(parsed->stoc.tau, original.stoc.tau);
 }
 
