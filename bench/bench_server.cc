@@ -9,12 +9,22 @@
 //   3. publish       a new cube version is published mid-load with
 //                    cache warming -> cache hit rate before/after, and
 //                    every response stays well-formed
+//   4. streaming     a synthetic wide cube (default 100k rows in one
+//                    slice) served once buffered and once with chunked
+//                    streaming (?stream=1) -> time-to-first-byte and the
+//                    server's peak response buffer: the streamed peak is
+//                    the chunk flush threshold regardless of row count,
+//                    the buffered peak is the whole serialised body
+//
+// Writes the trajectory record BENCH_server.json next to the binary.
 //
 // Run:  ./bench_server [--quick] [--scale S] [--workers N] [--seconds T]
+//                      [--rows R]
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -200,6 +210,96 @@ double HitRate(const query::ResultCache::Stats& stats) {
                           static_cast<double>(total);
 }
 
+// ---------------------------------------------------------------------------
+// Phase 4: streamed vs buffered serving of one very wide answer.
+// ---------------------------------------------------------------------------
+
+/// A synthetic cube whose `SLICE sa=group=minority` answer has exactly
+/// `rows` rows: one SA item shared by every cell, one distinct CA item
+/// per cell. Built directly (no mining) so the bench scales to 100k rows
+/// in well under a second.
+cube::SegregationCube BuildWideCube(size_t rows) {
+  relational::ItemCatalog catalog;
+  using relational::AttributeKind;
+  fpm::ItemId sa_item =
+      catalog.GetOrAdd(0, "group", "minority", AttributeKind::kSegregation);
+  std::vector<fpm::ItemId> ca_items;
+  ca_items.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    ca_items.push_back(catalog.GetOrAdd(1, "ctx", "c" + std::to_string(i),
+                                        AttributeKind::kContext));
+  }
+  cube::SegregationCube cube(std::move(catalog), {"u0", "u1"});
+  for (size_t i = 0; i < rows; ++i) {
+    cube::CubeCell cell;
+    cell.coords = cube::CellCoordinates{fpm::Itemset({sa_item}),
+                                        fpm::Itemset({ca_items[i]})};
+    cell.context_size = 100 + i % 1000;
+    cell.minority_size = 10 + i % 90;
+    cell.num_units = 2;
+    cell.indexes.defined = true;
+    cell.indexes.values[static_cast<size_t>(
+        indexes::IndexKind::kDissimilarity)] =
+        static_cast<double>(i % 1000) / 1000.0;
+    cube.Insert(cell);
+  }
+  return cube;
+}
+
+/// One timed HTTP request: TTFB is the wall time until the status line is
+/// readable, total includes draining the (possibly chunked) body.
+struct TimedResponse {
+  int status = 0;
+  double ttfb_ms = 0;
+  double total_ms = 0;
+  size_t body_bytes = 0;
+  bool ok = false;
+};
+
+TimedResponse TimedRequest(uint16_t port, const std::string& target,
+                           const std::string& body) {
+  TimedResponse out;
+  auto connected = net::Connect("127.0.0.1", port);
+  if (!connected.ok()) return out;
+  net::Socket socket = std::move(connected).value();
+  socket.SetNoDelay();
+  net::BufferedReader reader(&socket);
+  std::string request = "POST " + target + " HTTP/1.1\r\n";
+  request += "Host: localhost\r\nContent-Type: text/plain\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: keep-alive\r\n\r\n";
+  request += body;
+  WallTimer timer;
+  if (!socket.WriteAll(request).ok()) return out;
+  auto status_line = reader.ReadLine();
+  if (!status_line.ok()) return out;
+  out.ttfb_ms = timer.Millis();
+  auto resp = net::ReadHttpResponseAfterStatusLine(&reader, *status_line);
+  if (!resp.ok()) return out;
+  out.total_ms = timer.Millis();
+  out.status = resp->status;
+  out.body_bytes = resp->body.size();
+  out.ok = resp->status == 200;
+  return out;
+}
+
+/// Reads one numeric metric value from a Prometheus exposition body.
+double MetricValue(const std::string& exposition, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = exposition.find(name, pos)) != std::string::npos) {
+    size_t line_start = exposition.rfind('\n', pos);
+    line_start = line_start == std::string::npos ? 0 : line_start + 1;
+    if (exposition[line_start] == '#') {  // HELP/TYPE lines
+      pos += name.size();
+      continue;
+    }
+    size_t space = exposition.find(' ', pos);
+    if (space == std::string::npos) return 0;
+    return std::atof(exposition.c_str() + space + 1);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +308,10 @@ int main(int argc, char** argv) {
   size_t clients = 4;
   size_t workers = 4;
   double deadline_ms = 250;
+  // The streaming phase keeps its full width under --quick: the point is
+  // that a 100k-row answer streams in O(1) buffer, and the synthetic cube
+  // builds in well under a second.
+  size_t rows = 100000;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -218,11 +322,14 @@ int main(int argc, char** argv) {
       seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = static_cast<size_t>(std::atol(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
   }
+  if (rows < 100) rows = 100;
   if (quick) {
     seconds = 0.6;
     clients = 2;
@@ -348,8 +455,132 @@ int main(int argc, char** argv) {
   server.Stop();
   service.Shutdown();
 
+  // --- phase 4: streamed vs buffered wide answer --------------------------
+  std::printf("[streaming] building wide cubes (%zu and %zu rows)...\n",
+              rows, rows / 10);
+  query::CubeStore wide_store;
+  query::ServiceOptions wide_options;
+  wide_options.num_workers = 2;
+  wide_options.cache_capacity = 0;  // measure execution, not cache replay
+  query::QueryService wide_service(&wide_store, wide_options);
+  wide_store.Publish("default", BuildWideCube(rows));
+  wide_store.Publish("small", BuildWideCube(rows / 10));
+
+  server::ServerOptions wide_server_options;
+  wide_server_options.port = 0;
+  wide_server_options.loopback_only = true;
+  server::ScubedServer wide_server(&wide_service, &wide_store,
+                                   wide_server_options);
+  started = wide_server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  const uint16_t wide_port = wide_server.port();
+  const std::string wide_query = "SLICE sa=group=minority";
+
+  auto read_peak = [&](const char* gauge) -> double {
+    auto connected = net::Connect("127.0.0.1", wide_port);
+    if (!connected.ok()) return -1;
+    net::Socket socket = std::move(connected).value();
+    net::BufferedReader reader(&socket);
+    auto resp = net::RoundTrip(&socket, &reader, "GET", "/metrics");
+    if (!resp.ok()) return -1;
+    return MetricValue(resp->body, gauge);
+  };
+
+  // Stream the small answer first: the streamed peak after it is the
+  // chunk flush bound. Streaming the 10x answer next must not move it —
+  // that is the O(1) claim, measured.
+  TimedResponse small_stream = TimedRequest(
+      wide_port, "/query?stream=1", wide_query + " FROM small");
+  double peak_small = read_peak("scubed_streamed_buffer_peak_bytes");
+  TimedResponse streamed =
+      TimedRequest(wide_port, "/query?stream=1", wide_query);
+  double peak_streamed = read_peak("scubed_streamed_buffer_peak_bytes");
+  TimedResponse buffered = TimedRequest(wide_port, "/query", wide_query);
+  double peak_buffered = read_peak("scubed_buffered_body_peak_bytes");
+  wide_server.Stop();
+  wide_service.Shutdown();
+
+  std::printf("  streamed  %zu rows: TTFB %.2f ms, total %.2f ms, "
+              "%zu body bytes, peak buffer %.0f B\n",
+              rows, streamed.ttfb_ms, streamed.total_ms,
+              streamed.body_bytes, peak_streamed);
+  std::printf("  streamed  %zu rows: HTTP %d, peak buffer %.0f B "
+              "(unchanged by 10x more rows: O(1))\n",
+              rows / 10, small_stream.status, peak_small);
+  std::printf("  buffered  %zu rows: TTFB %.2f ms, total %.2f ms, "
+              "%zu body bytes, peak buffer %.0f B\n",
+              rows, buffered.ttfb_ms, buffered.total_ms,
+              buffered.body_bytes, peak_buffered);
+  std::printf("  TTFB streamed/buffered: %.2f/%.2f ms | peak buffer "
+              "ratio %.0fx\n\n",
+              streamed.ttfb_ms, buffered.ttfb_ms,
+              peak_streamed > 0 ? peak_buffered / peak_streamed : 0);
+
+  // The streamed peak is bounded by the chunk flush threshold (plus one
+  // coalesced write), independent of the row count; the buffered peak is
+  // the whole serialised body.
+  const double flush_bound = 2.0 * net::ChunkedWriter::kDefaultFlushBytes;
+  bool streaming_ok =
+      small_stream.ok && streamed.ok && buffered.ok &&
+      streamed.body_bytes > buffered.body_bytes / 2 &&  // same rows served
+      peak_streamed > 0 && peak_streamed <= flush_bound &&
+      std::abs(peak_streamed - peak_small) <= 4096 &&
+      peak_buffered >= 0.5 * static_cast<double>(buffered.body_bytes);
+  std::printf("  streaming O(1) buffering %s\n\n",
+              streaming_ok ? "holds" : "FAILED");
+
+  // --- trajectory record ---------------------------------------------------
+  {
+    std::FILE* json = std::fopen("BENCH_server.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json, "{\n");
+      std::fprintf(json,
+                   "  \"closed_loop\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f, \"ok\": %llu, \"errors\": %llu},\n",
+                   capacity, Percentile(&closed.latencies_ms, 0.50),
+                   Percentile(&closed.latencies_ms, 0.99),
+                   static_cast<unsigned long long>(closed.ok),
+                   static_cast<unsigned long long>(closed.errors));
+      std::fprintf(json,
+                   "  \"open_loop_2x\": {\"offered_qps\": %.1f, "
+                   "\"shed_rate\": %.4f, \"accepted_p99_ms\": %.3f},\n",
+                   offered, shed_rate, open_p99);
+      std::fprintf(json,
+                   "  \"publish_under_load\": {\"version\": %llu, "
+                   "\"warmed\": %zu, \"window_hit_rate\": %.4f},\n",
+                   static_cast<unsigned long long>(publish_info.version),
+                   publish_info.warmed, 100 * HitRate(window) / 100.0);
+      std::fprintf(json, "  \"streaming\": {\n");
+      std::fprintf(json, "    \"rows\": %zu,\n", rows);
+      std::fprintf(json,
+                   "    \"streamed\": {\"ttfb_ms\": %.3f, \"total_ms\": "
+                   "%.3f, \"body_bytes\": %zu, "
+                   "\"peak_response_buffer_bytes\": %.0f},\n",
+                   streamed.ttfb_ms, streamed.total_ms, streamed.body_bytes,
+                   peak_streamed);
+      std::fprintf(json,
+                   "    \"streamed_tenth\": {\"rows\": %zu, "
+                   "\"peak_response_buffer_bytes\": %.0f},\n",
+                   rows / 10, peak_small);
+      std::fprintf(json,
+                   "    \"buffered\": {\"ttfb_ms\": %.3f, \"total_ms\": "
+                   "%.3f, \"body_bytes\": %zu, "
+                   "\"peak_response_buffer_bytes\": %.0f},\n",
+                   buffered.ttfb_ms, buffered.total_ms, buffered.body_bytes,
+                   peak_buffered);
+      std::fprintf(json, "    \"o1_buffering_holds\": %s\n",
+                   streaming_ok ? "true" : "false");
+      std::fprintf(json, "  }\n}\n");
+      std::fclose(json);
+      std::printf("wrote BENCH_server.json\n");
+    }
+  }
+
   bool ok = closed.ok > 0 && closed.errors == 0 && warmed_ok &&
-            publish_load.ok > 0;
+            publish_load.ok > 0 && streaming_ok;
   std::printf("bench_server %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -14,12 +14,19 @@
 //            DRILLDOWN sa=gender=F
 //            SURPRISES BY gini MINDELTA 0.1 LIMIT 5
 //            REVERSALS MINGAP 0.1 FROM sectors
-// Commands:  .help  .cubes  .stats  .csv <query>  .json <query>  .quit
+//            DICE sa=gender=F LIMIT 3           (then `.more` pages on)
+// Commands:  .help  .cubes  .stats  .csv <query>  .json <query>
+//            .more (next page of the last LIMIT'ed answer)  .quit
+//
+// .csv/.json render through the streaming read path (ExecuteStreaming +
+// Csv/JsonWriter): rows print as the index walks produce them, and a
+// LIMIT'ed answer ends with a resume cursor that `.more` feeds back.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datagen/scenarios.h"
@@ -43,11 +50,22 @@ constexpr const char* kHelp =
     "  REVERSALS [BY <index>] [MINGAP <g>]\n"
     "clauses: FROM <cube>[@version]  WHERE T >= n AND M >= n  "
     "ORDER BY <key> [ASC|DESC]"
-    "  LIMIT <n>\n"
+    "  LIMIT <n> [OFFSET <k>]\n"
     "indexes: dissimilarity gini information isolation interaction atkinson\n"
-    "commands: .help .cubes .stats .csv <query> .json <query> .quit\n";
+    "commands: .help .cubes .stats .csv <query> .json <query>\n"
+    "          .more (next page of the last LIMIT'ed answer) .quit\n";
 
-void PrintResponse(const query::QueryResponse& resp) {
+/// Pagination state: the last answered text, its resume cursor, and the
+/// output format it was rendered in — `.more` keeps paging in the same
+/// format so concatenated pages form one table/CSV/JSON sequence.
+struct PageState {
+  enum class Format { kTable, kCsv, kJson };
+  std::string text;
+  std::string cursor;
+  Format format = Format::kTable;
+};
+
+void PrintResponse(const query::QueryResponse& resp, PageState* page) {
   if (!resp.status.ok()) {
     std::printf("error: %s\n", resp.status.ToString().c_str());
     return;
@@ -58,6 +76,42 @@ void PrintResponse(const query::QueryResponse& resp) {
               resp.cache_hit ? " (cache hit)" : "", resp.cube.c_str(),
               static_cast<unsigned long long>(resp.cube_version),
               static_cast<unsigned long long>(resp.result.cells_scanned));
+  if (page != nullptr) {
+    page->text = resp.text;
+    page->cursor = resp.result.next_cursor;
+    page->format = PageState::Format::kTable;
+    if (!page->cursor.empty()) std::printf("-- type .more for the next page\n");
+  }
+}
+
+/// Streams one query through the chosen writer straight to stdout — rows
+/// print as the index walks produce them, O(1) buffering end to end.
+void StreamToStdout(query::QueryService* service, const std::string& text,
+                    bool csv, PageState* page, const std::string& cursor) {
+  auto emit = [](std::string_view chunk) {
+    std::fwrite(chunk.data(), 1, chunk.size(), stdout);
+    return true;
+  };
+  query::QueryService::StreamOutcome outcome;
+  if (csv) {
+    query::CsvWriter writer(emit);
+    outcome = service->ExecuteStreaming(text, writer, {}, cursor);
+  } else {
+    query::JsonWriter writer(emit);
+    outcome = service->ExecuteStreaming(text, writer, {}, cursor);
+  }
+  if (!outcome.status.ok()) {
+    std::printf("%serror: %s\n", outcome.begun ? "\n" : "",
+                outcome.status.ToString().c_str());
+    return;
+  }
+  std::printf("\n");
+  if (page != nullptr) {
+    page->text = text;
+    page->cursor = outcome.next_cursor;
+    page->format = csv ? PageState::Format::kCsv : PageState::Format::kJson;
+    if (!page->cursor.empty()) std::printf("-- type .more for the next page\n");
+  }
 }
 
 bool BuildAndPublish(query::CubeStore* store, double scale) {
@@ -127,7 +181,7 @@ int RunDemo(query::QueryService* service) {
   int failures = 0;
   for (const auto& resp : responses) {
     std::printf("\nscubeql> %s\n", resp.text.c_str());
-    PrintResponse(resp);
+    PrintResponse(resp, nullptr);
     if (!resp.status.ok()) ++failures;
   }
   auto stats = service->cache_stats();
@@ -138,11 +192,33 @@ int RunDemo(query::QueryService* service) {
   // The demo repeats the first query separately to show a cache hit.
   auto again = service->ExecuteOne(tour[0]);
   std::printf("\nscubeql> %s\n", tour[0].c_str());
-  PrintResponse(again);
+  PrintResponse(again, nullptr);
   if (!again.cache_hit) {
     std::fprintf(stderr, "expected a cache hit on the repeated query\n");
     ++failures;
   }
+
+  // Cursor pagination over the streaming read path: LIMIT'ed pages stitch
+  // back into the full answer.
+  const std::string paged = "DICE sa=gender=F LIMIT 100";
+  std::printf("\nscubeql> %s  (paging with .more semantics)\n",
+              paged.c_str());
+  std::string cursor;
+  size_t pages = 0, rows = 0;
+  do {
+    query::VectorSink sink;
+    auto outcome = service->ExecuteStreaming(paged, sink, {}, cursor);
+    if (!outcome.status.ok()) {
+      std::fprintf(stderr, "streaming: %s\n",
+                   outcome.status.ToString().c_str());
+      ++failures;
+      break;
+    }
+    ++pages;
+    rows += sink.result().rows.size();
+    cursor = outcome.next_cursor;
+  } while (!cursor.empty() && pages < 10000);
+  std::printf("-- %zu rows over %zu cursor-resumed pages\n", rows, pages);
   return failures == 0 ? 0 : 1;
 }
 
@@ -170,6 +246,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n%s\n", kHelp);
   char line[4096];
+  PageState page;
   while (true) {
     std::printf("scubeql> ");
     std::fflush(stdout);
@@ -207,18 +284,44 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.evictions));
       continue;
     }
-    if (text.rfind(".csv ", 0) == 0 || text.rfind(".json ", 0) == 0) {
-      bool csv = text[1] == 'c';
-      auto resp = service.ExecuteOne(text.substr(csv ? 5 : 6));
-      if (!resp.status.ok()) {
-        std::printf("error: %s\n", resp.status.ToString().c_str());
-      } else {
-        std::printf("%s\n", csv ? query::ToCsv(resp.result).c_str()
-                                : query::ToJson(resp.result).c_str());
+    if (text == ".more") {
+      if (page.cursor.empty()) {
+        std::printf("no more pages (run a LIMIT'ed query first)\n");
+        continue;
       }
+      if (page.format != PageState::Format::kTable) {
+        // Keep paging in the format the stream started in, so the pages
+        // concatenate into one CSV/JSON sequence.
+        std::string cursor = page.cursor;
+        StreamToStdout(&service, page.text,
+                       page.format == PageState::Format::kCsv, &page,
+                       cursor);
+        continue;
+      }
+      query::VectorSink sink;
+      auto outcome =
+          service.ExecuteStreaming(page.text, sink, {}, page.cursor);
+      if (!outcome.status.ok()) {
+        std::printf("error: %s\n", outcome.status.ToString().c_str());
+        continue;
+      }
+      query::QueryResponse resp;
+      resp.text = page.text;
+      resp.cube = outcome.cube;
+      resp.cube_version = outcome.cube_version;
+      resp.status = outcome.status;
+      resp.cache_hit = outcome.cache_hit;
+      resp.exec_ms = outcome.exec_ms;
+      resp.result = sink.TakeResult();
+      PrintResponse(resp, &page);
       continue;
     }
-    PrintResponse(service.ExecuteOne(text));
+    if (text.rfind(".csv ", 0) == 0 || text.rfind(".json ", 0) == 0) {
+      bool csv = text[1] == 'c';
+      StreamToStdout(&service, text.substr(csv ? 5 : 6), csv, &page, "");
+      continue;
+    }
+    PrintResponse(service.ExecuteOne(text), &page);
   }
   return 0;
 }

@@ -26,6 +26,13 @@
 //   curl -X POST 'localhost:8080/query?format=csv' --data 'SLICE sa=gender=F'
 //   curl localhost:8080/metrics
 //   printf 'TOPK 3 BY gini\nQUIT\n' | nc localhost 8080     (line protocol)
+//
+// Streaming (chunked transfer encoding, O(1) response buffering; one
+// statement per request; ?cursor= resumes the next LIMIT'ed page):
+//   curl -N -X POST 'localhost:8080/query?stream=1' --data 'DICE sa=gender=F'
+//   curl -N -X POST 'localhost:8080/query?stream=1' --data 'DICE sa=gender=F LIMIT 100'
+//   curl -N -X POST "localhost:8080/query?stream=1&cursor=$TOKEN" --data 'DICE sa=gender=F LIMIT 100'
+//   curl -N -X POST 'localhost:8080/query?stream=1&format=csv' -OJ --data 'SLICE sa=gender=F'
 
 #include <csignal>
 #include <cstdio>

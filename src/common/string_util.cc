@@ -104,6 +104,112 @@ std::string FormatWithCommas(int64_t v) {
   return std::string(out.rbegin(), out.rend());
 }
 
+Result<uint64_t> ParseHexU64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty hex string");
+  uint64_t value = 0;
+  for (char c : s) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("invalid hex character");
+    }
+    if (value > (UINT64_MAX >> 4)) {
+      return Status::InvalidArgument("hex value overflows uint64");
+    }
+    value = (value << 4) | static_cast<uint64_t>(v);
+  }
+  return value;
+}
+
+namespace {
+
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Value of one base64 character; -1 for non-alphabet bytes.
+int Base64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view s) {
+  std::string out;
+  out.reserve((s.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= s.size(); i += 3) {
+    uint32_t v = (static_cast<uint8_t>(s[i]) << 16) |
+                 (static_cast<uint8_t>(s[i + 1]) << 8) |
+                 static_cast<uint8_t>(s[i + 2]);
+    out += kBase64Alphabet[(v >> 18) & 0x3F];
+    out += kBase64Alphabet[(v >> 12) & 0x3F];
+    out += kBase64Alphabet[(v >> 6) & 0x3F];
+    out += kBase64Alphabet[v & 0x3F];
+  }
+  size_t rest = s.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<uint8_t>(s[i]) << 16;
+    out += kBase64Alphabet[(v >> 18) & 0x3F];
+    out += kBase64Alphabet[(v >> 12) & 0x3F];
+    out += "==";
+  } else if (rest == 2) {
+    uint32_t v = (static_cast<uint8_t>(s[i]) << 16) |
+                 (static_cast<uint8_t>(s[i + 1]) << 8);
+    out += kBase64Alphabet[(v >> 18) & 0x3F];
+    out += kBase64Alphabet[(v >> 12) & 0x3F];
+    out += kBase64Alphabet[(v >> 6) & 0x3F];
+    out += '=';
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view s) {
+  if (s.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length not a multiple of 4");
+  }
+  std::string out;
+  out.reserve(s.size() / 4 * 3);
+  for (size_t i = 0; i < s.size(); i += 4) {
+    int pad = 0;
+    uint32_t v = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      char c = s[i + j];
+      if (c == '=') {
+        // Padding is only valid in the last one or two positions of the
+        // final group.
+        if (i + 4 != s.size() || j < 2) {
+          return Status::InvalidArgument("base64 padding misplaced");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return Status::InvalidArgument("base64 data after padding");
+      }
+      int value = Base64Value(c);
+      if (value < 0) {
+        return Status::InvalidArgument("invalid base64 character");
+      }
+      v = (v << 6) | static_cast<uint32_t>(value);
+    }
+    out += static_cast<char>((v >> 16) & 0xFF);
+    if (pad < 2) out += static_cast<char>((v >> 8) & 0xFF);
+    if (pad < 1) out += static_cast<char>(v & 0xFF);
+  }
+  return out;
+}
+
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());

@@ -32,11 +32,25 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 Result<int64_t> ParseInt64(std::string_view s);
 Result<double> ParseDouble(std::string_view s);
 
+/// Strict unsigned hex parsing of the entire string (no 0x prefix, both
+/// cases accepted). InvalidArgument on empty input, non-hex characters or
+/// uint64 overflow. Used by the chunked-transfer decoder and the cursor
+/// codec.
+Result<uint64_t> ParseHexU64(std::string_view s);
+
 /// Formats a double with `digits` decimal places ("0.78").
 std::string FormatDouble(double v, int digits);
 
 /// Formats with thousands separators: 3600000 -> "3,600,000".
 std::string FormatWithCommas(int64_t v);
+
+/// Standard base64 (RFC 4648, with padding). Used for opaque wire tokens
+/// such as the query-result resume cursors.
+std::string Base64Encode(std::string_view s);
+
+/// Decodes standard base64; InvalidArgument on bad characters, bad padding
+/// or a truncated final group. Whitespace is not accepted.
+Result<std::string> Base64Decode(std::string_view s);
 
 /// Escapes `s` for embedding inside a JSON string literal (RFC 8259):
 /// quote, backslash, and the C0 control characters. Bytes >= 0x20 other

@@ -252,36 +252,14 @@ std::vector<CubeView::CellId> CubeView::ChildrenOf(
 std::vector<CubeView::CellId> CubeView::Dice(const fpm::Itemset& sa,
                                              const fpm::Itemset& ca,
                                              uint64_t* examined) const {
-  std::vector<std::span<const CellId>> lists;
-  lists.reserve(sa.size() + ca.size());
-  for (fpm::ItemId item : sa.items()) lists.push_back(SaPostings(item));
-  for (fpm::ItemId item : ca.items()) lists.push_back(CaPostings(item));
-
   std::vector<CellId> out;
-  if (lists.empty()) {
-    if (examined != nullptr) *examined = cells_.size();
-    out.resize(cells_.size());
-    for (size_t i = 0; i < cells_.size(); ++i) out[i] = static_cast<CellId>(i);
-    return out;
-  }
-
-  // Drive the intersection from the shortest posting list; membership in
-  // the others is a binary search over sorted ids.
-  size_t shortest = 0;
-  for (size_t i = 1; i < lists.size(); ++i) {
-    if (lists[i].size() < lists[shortest].size()) shortest = i;
-  }
-  if (examined != nullptr) *examined = lists[shortest].size();
-  for (CellId id : lists[shortest]) {
-    bool in_all = true;
-    for (size_t i = 0; i < lists.size() && in_all; ++i) {
-      if (i == shortest) continue;
-      in_all = std::binary_search(lists[i].begin(), lists[i].end(), id);
-    }
-    if (in_all) out.push_back(id);
-  }
+  DiceVisit(sa, ca, examined, [&out](CellId id) {
+    out.push_back(id);
+    return true;
+  });
   return out;
 }
+
 
 std::span<const CubeView::CellId> CubeView::RankedByIndex(
     indexes::IndexKind kind) const {

@@ -23,12 +23,14 @@
 #ifndef SCUBE_CUBE_CUBE_VIEW_H_
 #define SCUBE_CUBE_CUBE_VIEW_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cube/cell.h"
@@ -110,6 +112,28 @@ class CubeView {
   std::vector<CellId> Dice(const fpm::Itemset& sa, const fpm::Itemset& ca,
                            uint64_t* examined = nullptr) const;
 
+  /// Streaming subcube selection: `visit(id)` is invoked for each matching
+  /// cell in ascending id order; returning false stops the intersection
+  /// immediately (LIMIT pushdown). `tick()` is probed once per *candidate*
+  /// examined — matching or not — and returning false aborts the walk
+  /// (deadline pushdown; selective intersections can examine many
+  /// candidates between matches). Returns false iff a callback stopped the
+  /// walk early. `examined` receives the candidates inspected so far in
+  /// either case (written at exit, not per candidate).
+  ///
+  /// Templated on the callables so the hot intersection loop pays no
+  /// std::function dispatch per candidate; defined inline below.
+  template <typename Visit, typename Tick>
+  bool DiceVisit(const fpm::Itemset& sa, const fpm::Itemset& ca,
+                 uint64_t* examined, Visit&& visit, Tick&& tick) const;
+
+  template <typename Visit>
+  bool DiceVisit(const fpm::Itemset& sa, const fpm::Itemset& ca,
+                 uint64_t* examined, Visit&& visit) const {
+    return DiceVisit(sa, ca, examined, std::forward<Visit>(visit),
+                     [] { return true; });
+  }
+
   /// Ids of *defined* cells ordered by the given index descending,
   /// coordinate-ascending on ties — the precomputed top-k order.
   std::span<const CellId> RankedByIndex(indexes::IndexKind kind) const;
@@ -162,6 +186,52 @@ class CubeView {
   Csr children_;
   std::array<std::vector<CellId>, indexes::kNumIndexKinds> ranked_;
 };
+
+template <typename Visit, typename Tick>
+bool CubeView::DiceVisit(const fpm::Itemset& sa, const fpm::Itemset& ca,
+                         uint64_t* examined, Visit&& visit,
+                         Tick&& tick) const {
+  // `examined` is written only at the exit points, not per candidate —
+  // the intersection loop is hot.
+  uint64_t seen = 0;
+  auto done = [&seen, examined](bool completed) {
+    if (examined != nullptr) *examined = seen;
+    return completed;
+  };
+
+  std::vector<std::span<const CellId>> lists;
+  lists.reserve(sa.size() + ca.size());
+  for (fpm::ItemId item : sa.items()) lists.push_back(SaPostings(item));
+  for (fpm::ItemId item : ca.items()) lists.push_back(CaPostings(item));
+
+  if (lists.empty()) {
+    // No constraints: every cell matches, in id order.
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      ++seen;
+      if (!tick()) return done(false);
+      if (!visit(static_cast<CellId>(i))) return done(false);
+    }
+    return done(true);
+  }
+
+  // Drive the intersection from the shortest posting list; membership in
+  // the others is a binary search over sorted ids.
+  size_t shortest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[shortest].size()) shortest = i;
+  }
+  for (CellId id : lists[shortest]) {
+    ++seen;
+    if (!tick()) return done(false);
+    bool in_all = true;
+    for (size_t i = 0; i < lists.size() && in_all; ++i) {
+      if (i == shortest) continue;
+      in_all = std::binary_search(lists[i].begin(), lists[i].end(), id);
+    }
+    if (in_all && !visit(id)) return done(false);
+  }
+  return done(true);
+}
 
 }  // namespace cube
 }  // namespace scube

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 #include "common/string_util.h"
 
@@ -72,6 +73,11 @@ Result<std::string> BufferedReader::ReadLine(size_t max_len) {
 }
 
 Status BufferedReader::ReadExact(size_t n, std::string* out) {
+  out->clear();
+  return ReadExactAppend(n, out);
+}
+
+Status BufferedReader::ReadExactAppend(size_t n, std::string* out) {
   while (buf_.size() - pos_ < n) {
     if (eof_) {
       return Status::IoError("connection closed mid-body (" +
@@ -80,7 +86,7 @@ Status BufferedReader::ReadExact(size_t n, std::string* out) {
     }
     SCUBE_RETURN_IF_ERROR(Fill());
   }
-  out->assign(buf_, pos_, n);
+  out->append(buf_, pos_, n);
   pos_ += n;
   return Status::OK();
 }
@@ -248,38 +254,176 @@ Result<HttpRequest> ReadHttpRequest(BufferedReader* reader,
   return req;
 }
 
-std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+std::string SerializeResponseHead(const HttpResponse& response,
+                                  bool keep_alive, bool chunked) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     StatusReason(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (chunked) {
+    // Never alongside Content-Length: a streamed response's size is
+    // unknown when the head leaves, and emitting both desyncs keep-alive.
+    out += "Transfer-Encoding: chunked\r\n";
+  } else {
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   for (const auto& [name, value] : response.headers) {
     out += name + ": " + value + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out =
+      SerializeResponseHead(response, keep_alive, /*chunked=*/false);
   out += response.body;
   return out;
 }
 
-Result<HttpClientResponse> ReadHttpResponse(BufferedReader* reader) {
-  HttpClientResponse resp;
-  auto status_line = reader->ReadLine();
-  if (!status_line.ok()) return status_line.status();
-  // "HTTP/1.1 200 OK"
-  size_t sp1 = status_line->find(' ');
-  if (sp1 == std::string::npos ||
-      status_line->rfind("HTTP/", 0) != 0) {
-    return Status::ParseError("malformed status line: " + *status_line);
+// --- ChunkedWriter ----------------------------------------------------------
+
+ChunkedWriter::ChunkedWriter(WriteFn write, size_t flush_bytes)
+    : write_(std::move(write)),
+      flush_bytes_(flush_bytes == 0 ? kDefaultFlushBytes : flush_bytes) {
+  buffer_.reserve(flush_bytes_);
+}
+
+Status ChunkedWriter::Emit(std::string_view raw) {
+  if (!status_.ok()) return status_;
+  status_ = write_(raw);
+  if (status_.ok()) bytes_written_ += raw.size();
+  return status_;
+}
+
+Status ChunkedWriter::WriteHead(const HttpResponse& head, bool keep_alive) {
+  if (head_written_) return Status::FailedPrecondition("head already written");
+  head_written_ = true;
+  return Emit(SerializeResponseHead(head, keep_alive, /*chunked=*/true));
+}
+
+Status ChunkedWriter::Write(std::string_view data) {
+  if (!status_.ok()) return status_;
+  if (finished_) return Status::FailedPrecondition("stream finished");
+  buffer_.append(data);
+  peak_buffer_ = std::max(peak_buffer_, buffer_.size());
+  if (buffer_.size() >= flush_bytes_) return Flush();
+  return status_;
+}
+
+Status ChunkedWriter::Flush() {
+  if (!status_.ok()) return status_;
+  if (buffer_.empty()) return status_;
+  char size_line[32];
+  int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                        buffer_.size());
+  std::string frame;
+  frame.reserve(static_cast<size_t>(n) + buffer_.size() + 2);
+  frame.append(size_line, static_cast<size_t>(n));
+  frame.append(buffer_);
+  frame.append("\r\n");
+  buffer_.clear();
+  return Emit(frame);
+}
+
+Status ChunkedWriter::Finish() {
+  if (finished_) return status_;
+  if (!head_written_) {
+    return Status::FailedPrecondition("Finish before WriteHead");
   }
-  auto code = ParseInt64(
-      std::string_view(*status_line).substr(sp1 + 1, 3));
+  SCUBE_RETURN_IF_ERROR(Flush());
+  finished_ = true;
+  return Emit("0\r\n\r\n");
+}
+
+namespace {
+
+/// Chunks beyond this are rejected rather than allocated: no peer of ours
+/// sends chunks anywhere near it (the server flushes at ~16 KiB), and it
+/// keeps a hostile size line from driving a huge allocation.
+constexpr size_t kMaxChunkBytes = 256 * 1024 * 1024;
+
+/// Total decoded-body bound: an endless stream of small chunks must not
+/// grow the client's memory without limit either.
+constexpr size_t kMaxChunkedBodyBytes = 1024 * 1024 * 1024;
+
+/// Decodes a chunked body: size-line / payload pairs until the 0 chunk,
+/// then trailer headers (folded into `headers`) up to the blank line.
+Status ReadChunkedBody(BufferedReader* reader, std::string* body,
+                       std::map<std::string, std::string>* headers) {
+  while (true) {
+    auto size_line = reader->ReadLine();
+    if (!size_line.ok()) return size_line.status();
+    // Chunk extensions ("1a;name=value") are tolerated and ignored.
+    std::string_view digits(*size_line);
+    size_t semi = digits.find(';');
+    if (semi != std::string_view::npos) digits = digits.substr(0, semi);
+    digits = Trim(digits);
+    if (digits.empty()) {
+      return Status::ParseError("empty chunk size line");
+    }
+    auto parsed = ParseHexU64(digits);
+    if (!parsed.ok()) {
+      // A value overflowing uint64 must not wrap (wrapping to 0 would
+      // read as the terminal chunk and misframe the rest of the stream).
+      return digits.size() > 16
+                 ? Status::ParseError("chunk size too large: " + *size_line)
+                 : Status::ParseError("bad chunk size: " + *size_line);
+    }
+    if (*parsed > kMaxChunkBytes) {
+      return Status::ParseError("chunk size too large: " + *size_line);
+    }
+    size_t size = static_cast<size_t>(*parsed);
+    if (size == 0) break;
+    if (body->size() + size > kMaxChunkedBodyBytes) {
+      return Status::ParseError("chunked body exceeds " +
+                                std::to_string(kMaxChunkedBodyBytes) +
+                                " bytes");
+    }
+    SCUBE_RETURN_IF_ERROR(reader->ReadExactAppend(size, body));
+    // The CRLF that terminates the chunk payload.
+    auto crlf = reader->ReadLine();
+    if (!crlf.ok()) return crlf.status();
+    if (!crlf->empty()) {
+      return Status::ParseError("chunk payload not followed by CRLF");
+    }
+  }
+  // Trailer section: header lines until the blank line. Trailers never
+  // overwrite headers already parsed from the header section (RFC 7230
+  // §4.1.2 forbids framing/control fields there — a trailer saying
+  // "Content-Length: 0" must not clobber the real framing).
+  for (size_t i = 0; i < kMaxHeaderLines; ++i) {
+    auto line = reader->ReadLine();
+    if (!line.ok()) return line.status();
+    if (line->empty()) return Status::OK();
+    size_t colon = line->find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(Trim(std::string_view(*line).substr(0, colon)));
+    headers->emplace(
+        name, std::string(Trim(std::string_view(*line).substr(colon + 1))));
+  }
+  return Status::ParseError("more than " + std::to_string(kMaxHeaderLines) +
+                            " trailer lines");
+}
+
+}  // namespace
+
+Result<HttpClientResponse> ReadHttpResponseAfterStatusLine(
+    BufferedReader* reader, const std::string& status_line) {
+  HttpClientResponse resp;
+  // "HTTP/1.1 200 OK"
+  size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos || status_line.rfind("HTTP/", 0) != 0) {
+    return Status::ParseError("malformed status line: " + status_line);
+  }
+  auto code = ParseInt64(std::string_view(status_line).substr(sp1 + 1, 3));
   if (!code.ok()) {
-    return Status::ParseError("malformed status line: " + *status_line);
+    return Status::ParseError("malformed status line: " + status_line);
   }
   resp.status = static_cast<int>(*code);
 
   bool have_length = false;
+  bool chunked = false;
   size_t length = 0;
   for (size_t i = 0; i < kMaxHeaderLines; ++i) {
     auto line = reader->ReadLine();
@@ -295,15 +439,20 @@ Result<HttpClientResponse> ReadHttpResponse(BufferedReader* reader) {
         have_length = true;
         length = static_cast<size_t>(*n);
       }
+    } else if (name == "transfer-encoding" &&
+               ToLower(value).find("chunked") != std::string::npos) {
+      chunked = true;
     }
     resp.headers[name] = std::move(value);
   }
 
-  if (have_length) {
+  if (chunked) {
+    SCUBE_RETURN_IF_ERROR(
+        ReadChunkedBody(reader, &resp.body, &resp.headers));
+  } else if (have_length) {
     SCUBE_RETURN_IF_ERROR(reader->ReadExact(length, &resp.body));
   } else {
     // Read to EOF (Connection: close responses).
-    std::string chunk;
     while (!reader->AtEof()) {
       auto line = reader->ReadLine();
       if (!line.ok()) break;
@@ -312,6 +461,12 @@ Result<HttpClientResponse> ReadHttpResponse(BufferedReader* reader) {
     }
   }
   return resp;
+}
+
+Result<HttpClientResponse> ReadHttpResponse(BufferedReader* reader) {
+  auto status_line = reader->ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  return ReadHttpResponseAfterStatusLine(reader, *status_line);
 }
 
 Result<HttpClientResponse> RoundTrip(Socket* socket, BufferedReader* reader,

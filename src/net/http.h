@@ -1,9 +1,11 @@
 // Minimal HTTP/1.1 for the scubed front-end: blocking request/response
-// parsing over a buffered socket reader, keep-alive handling, and target
-// (path + query-parameter) decoding. Deliberately small: no chunked
-// transfer encoding (411 when a body has no Content-Length), no TLS, no
-// multipart — scubed speaks plain HTTP to load balancers, curl and the
-// bench/test clients in this repo.
+// parsing over a buffered socket reader, keep-alive handling, target
+// (path + query-parameter) decoding, and chunked transfer encoding on the
+// *response* side (ChunkedWriter for streamed answers; the client reader
+// decodes chunked bodies). Deliberately small: no chunked request bodies
+// (411 when a request body has no Content-Length), no TLS, no multipart —
+// scubed speaks plain HTTP to load balancers, curl and the bench/test
+// clients in this repo.
 //
 // The same BufferedReader drives the newline-delimited line protocol:
 // SniffsAsHttp() looks at the first line to pick the dialect.
@@ -12,6 +14,7 @@
 #define SCUBE_NET_HTTP_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -34,8 +37,12 @@ class BufferedReader {
   /// on socket error/timeout.
   Result<std::string> ReadLine(size_t max_len = 64 * 1024);
 
-  /// Reads exactly `n` bytes into `out`.
+  /// Reads exactly `n` bytes into `out` (replacing its contents).
   Status ReadExact(size_t n, std::string* out);
+
+  /// Reads exactly `n` bytes, appending to `out` — lets chunked bodies
+  /// accumulate without an intermediate per-chunk copy.
+  Status ReadExactAppend(size_t n, std::string* out);
 
   /// True once the peer closed and the buffer is drained (peeks one byte).
   bool AtEof();
@@ -99,6 +106,72 @@ Result<HttpRequest> ReadHttpRequest(BufferedReader* reader,
 /// Serialises a response with Content-Length and Connection headers.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
+/// Serialises only the status line + headers (no body bytes). With
+/// `chunked` the framing header is `Transfer-Encoding: chunked` and
+/// Content-Length is never emitted — mixing the two desyncs keep-alive
+/// connections; without it, Content-Length is taken from response.body.
+std::string SerializeResponseHead(const HttpResponse& response,
+                                  bool keep_alive, bool chunked);
+
+/// \brief Incremental HTTP/1.1 chunked-transfer response writer: the wire
+/// side of a streamed answer. Bytes go out through a raw write callback
+/// (the socket, or a string in tests); payload is coalesced into chunks of
+/// up to `flush_bytes`, so the response buffer stays O(flush_bytes) no
+/// matter how large the body is — that bound is the whole point of the
+/// streaming read path.
+///
+/// Usage: WriteHead once, Write any number of times, Finish once. After
+/// Finish the connection is exactly at a message boundary and keep-alive
+/// continues normally.
+class ChunkedWriter {
+ public:
+  /// Raw byte sink. A non-OK return aborts the stream: subsequent calls
+  /// become no-ops and Finish reports the failure.
+  using WriteFn = std::function<Status(std::string_view)>;
+
+  static constexpr size_t kDefaultFlushBytes = 16 * 1024;
+
+  explicit ChunkedWriter(WriteFn write,
+                         size_t flush_bytes = kDefaultFlushBytes);
+
+  /// Writes the status line + headers with Transfer-Encoding: chunked.
+  /// The head is flushed immediately so the client's first byte does not
+  /// wait for the first body chunk (time-to-first-byte).
+  Status WriteHead(const HttpResponse& head, bool keep_alive);
+
+  /// Buffers payload, emitting a chunk whenever `flush_bytes` accumulate.
+  Status Write(std::string_view data);
+
+  /// Emits any buffered payload as a chunk now.
+  Status Flush();
+
+  /// Flushes, then writes the terminal 0-length chunk. Idempotent.
+  Status Finish();
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Largest number of payload bytes ever buffered — the peak response
+  /// buffer, reported by /metrics and the serving bench to demonstrate
+  /// O(1) buffering.
+  size_t peak_buffer_bytes() const { return peak_buffer_; }
+
+  /// Wire bytes written so far (head + chunk framing + payload).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status Emit(std::string_view raw);  ///< raw wire write, latching failure
+
+  WriteFn write_;
+  size_t flush_bytes_;
+  std::string buffer_;
+  size_t peak_buffer_ = 0;
+  uint64_t bytes_written_ = 0;
+  bool head_written_ = false;
+  bool finished_ = false;
+  Status status_;
+};
+
 /// Splits a request target into decoded path + query parameters.
 void ParseTarget(std::string_view target, std::string* path,
                  std::map<std::string, std::string>* params);
@@ -114,8 +187,14 @@ struct HttpClientResponse {
 };
 
 /// Reads one full response from `reader` (status line, headers, body by
-/// Content-Length; bodies without one read to EOF).
+/// Content-Length, chunked bodies decoded — trailer headers folded into
+/// `headers`; bodies with neither framing read to EOF).
 Result<HttpClientResponse> ReadHttpResponse(BufferedReader* reader);
+
+/// Same, when the status line was already consumed (clients measuring
+/// time-to-first-byte read the status line themselves first).
+Result<HttpClientResponse> ReadHttpResponseAfterStatusLine(
+    BufferedReader* reader, const std::string& status_line);
 
 /// One-shot client helper: sends `method target` with `body` over an open
 /// connection and reads the response. Sets Content-Length; keeps the

@@ -76,7 +76,8 @@ bool Query::operator==(const Query& other) const {
          cube_version == other.cube_version && sa == other.sa &&
          ca == other.ca && k == other.k && by == other.by &&
          threshold == other.threshold && min_t == other.min_t &&
-         min_m == other.min_m && order == other.order && limit == other.limit;
+         min_m == other.min_m && order == other.order &&
+         limit == other.limit && offset == other.offset;
 }
 
 std::string Canonical(const Query& query) {
@@ -115,6 +116,7 @@ std::string Canonical(const Query& query) {
            (query.order->descending ? " DESC" : " ASC");
   }
   if (query.limit) out += " LIMIT " + std::to_string(*query.limit);
+  if (query.offset) out += " OFFSET " + std::to_string(*query.offset);
   return out;
 }
 

@@ -101,7 +101,12 @@ struct Query {
   std::optional<uint64_t> min_m;
 
   std::optional<OrderBy> order;
+
+  /// LIMIT n OFFSET k: the page [offset, offset + limit) of the ordered
+  /// row stream. OFFSET without LIMIT skips a prefix; LIMIT without OFFSET
+  /// takes one. Cursor resumption rewrites `offset` to the resume position.
   std::optional<uint64_t> limit;
+  std::optional<uint64_t> offset;
 
   bool operator==(const Query& other) const;
 };

@@ -46,6 +46,32 @@ struct QueryContext {
   }
 };
 
+/// \brief Amortised deadline probe for tight loops (index walks, posting
+/// intersections): one clock read per `stride` ticks instead of per
+/// iteration. Once expired, stays expired.
+class DeadlineTicker {
+ public:
+  explicit DeadlineTicker(const QueryContext& ctx, uint64_t stride = 1024)
+      : ctx_(&ctx), stride_(stride == 0 ? 1 : stride) {}
+
+  /// Call once per loop iteration; true once the deadline has passed.
+  /// The very first tick probes the clock, so an already-expired context
+  /// stops a walk before it inspects anything.
+  bool Tick() {
+    if (expired_) return true;
+    if (count_++ % stride_ == 0 && ctx_->Expired()) expired_ = true;
+    return expired_;
+  }
+
+  bool expired() const { return expired_; }
+
+ private:
+  const QueryContext* ctx_;
+  uint64_t stride_;
+  uint64_t count_ = 0;
+  bool expired_ = false;
+};
+
 }  // namespace query
 }  // namespace scube
 

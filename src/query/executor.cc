@@ -1,6 +1,7 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace scube {
 namespace query {
@@ -8,6 +9,10 @@ namespace query {
 namespace {
 
 constexpr char kKeySep = '\x1F';
+
+/// Deadline probes inside index walks are amortised: one clock read per
+/// kDeadlineStride candidates, not per candidate.
+constexpr uint64_t kDeadlineStride = 4096;
 
 std::string ItemKey(const std::string& attr, const std::string& value) {
   return attr + kKeySep + value;
@@ -41,34 +46,60 @@ cube::ExplorerOptions ExplorerOptionsFor(const Query& q) {
   return opts;
 }
 
-void ApplyOrderAndLimit(const Query& q, QueryResult* result) {
-  if (q.order) {
-    const OrderBy order = *q.order;
-    auto key = [&order](const ResultRow& row) -> double {
-      switch (order.key) {
-        case OrderBy::Key::kContextSize:
-          return static_cast<double>(row.t);
-        case OrderBy::Key::kMinoritySize:
-          return static_cast<double>(row.m);
-        case OrderBy::Key::kIndex:
-          break;
-      }
-      return row.indexes[static_cast<size_t>(order.index)];
-    };
-    std::stable_sort(result->rows.begin(), result->rows.end(),
-                     [&](const ResultRow& a, const ResultRow& b) {
-                       // Undefined cells sort last under index keys.
-                       if (order.key == OrderBy::Key::kIndex &&
-                           a.defined != b.defined) {
-                         return a.defined;
-                       }
-                       return order.descending ? key(a) > key(b)
-                                               : key(a) < key(b);
-                     });
+/// ORDER BY sort, identical to the pre-streaming materialised path.
+void SortRows(const OrderBy& order, std::vector<ResultRow>* rows) {
+  auto key = [&order](const ResultRow& row) -> double {
+    switch (order.key) {
+      case OrderBy::Key::kContextSize:
+        return static_cast<double>(row.t);
+      case OrderBy::Key::kMinoritySize:
+        return static_cast<double>(row.m);
+      case OrderBy::Key::kIndex:
+        break;
+    }
+    return row.indexes[static_cast<size_t>(order.index)];
+  };
+  std::stable_sort(rows->begin(), rows->end(),
+                   [&](const ResultRow& a, const ResultRow& b) {
+                     // Undefined cells sort last under index keys.
+                     if (order.key == OrderBy::Key::kIndex &&
+                         a.defined != b.defined) {
+                       return a.defined;
+                     }
+                     return order.descending ? key(a) > key(b)
+                                             : key(a) < key(b);
+                   });
+}
+
+/// The verb-specific column layout, known before any row is produced.
+ResultHeader HeaderFor(const Query& q) {
+  ResultHeader header;
+  header.verb = q.verb;
+  header.by = q.by;
+  switch (q.verb) {
+    case Verb::kTopK:
+      header.has_value = true;
+      break;
+    case Verb::kSurprises:
+      header.has_value = true;
+      header.has_aux = true;
+      header.aux_name = "delta";
+      header.has_aux2 = true;
+      header.aux2_name = "best_parent";
+      break;
+    case Verb::kReversals:
+      header.has_value = true;
+      header.has_aux = true;
+      header.aux_name = "boundary_child";
+      header.has_aux2 = true;
+      header.aux2_name = "children";
+      header.has_tag = true;
+      header.tag_name = "direction";
+      break;
+    default:
+      break;
   }
-  if (q.limit && result->rows.size() > *q.limit) {
-    result->rows.resize(*q.limit);
-  }
+  return header;
 }
 
 /// How a query consumes the view's indexes.
@@ -117,6 +148,267 @@ Mode ClassifyQuery(const Query& q) {
   return Mode::kPoint;
 }
 
+/// One shared pass over the cell array for the analytic queries in
+/// `scans`. Each cell is evaluated against each SURPRISES/REVERSALS query
+/// via the view's precomputed parent/child adjacency (the explorer's
+/// per-cell evaluators) — B analytic queries walk the cube once, not B
+/// times. Returns false when the deadline expired mid-scan.
+bool RunSharedScan(const cube::CubeView& view,
+                   const std::vector<Prepared*>& scans,
+                   const QueryContext& ctx) {
+  DeadlineTicker ticker(ctx, kDeadlineStride);
+  const size_t n = view.NumCells();
+  for (cube::CubeView::CellId id = 0; id < n; ++id) {
+    if (ticker.Tick()) return false;
+    for (Prepared* p : scans) {
+      const Query& q = *p->query;
+      if (q.verb == Verb::kSurprises) {
+        if (auto finding = cube::EvaluateSurprise(view, id, q.by, q.threshold,
+                                                  p->explorer)) {
+          p->surprises.push_back(*finding);
+        }
+      } else {
+        if (auto reversal = cube::EvaluateReversal(view, id, q.by,
+                                                   q.threshold, p->explorer)) {
+          p->reversals.push_back(std::move(*reversal));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Pages the unpaginated row stream into a sink: skips `offset` rows,
+/// delivers up to `limit`, and learns that more rows remain when the
+/// producer offers one past the page. Rows arrive as factories so that
+/// skipped and beyond-page rows never pay row construction (label copies)
+/// — a cursor page at offset k walks but does not materialise the first k
+/// rows.
+class Pager {
+ public:
+  Pager(uint64_t offset, std::optional<uint64_t> limit, RowSink& sink)
+      : offset_(offset), limit_(limit), sink_(sink) {}
+
+  /// Offers the next stream row. False = the producer should stop.
+  template <typename RowFactory>
+  bool Offer(RowFactory&& make) {
+    if (skipped_ < offset_) {
+      ++skipped_;
+      return true;
+    }
+    if (limit_ && emitted_ >= *limit_) {
+      more_ = true;  // a row exists beyond the page: not exhausted
+      return false;
+    }
+    if (!sink_.Row(make())) {
+      aborted_ = true;
+      return false;
+    }
+    ++emitted_;
+    return true;
+  }
+
+  bool aborted() const { return aborted_; }
+  bool more() const { return more_; }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  uint64_t offset_;
+  std::optional<uint64_t> limit_;
+  RowSink& sink_;
+  uint64_t skipped_ = 0;
+  uint64_t emitted_ = 0;
+  bool more_ = false;
+  bool aborted_ = false;
+};
+
+/// Produces the unpaginated row stream of a prepared query, calling
+/// feed(row_factory) per row in stream order until feed returns false —
+/// the factory builds the ResultRow, so consumers that discard the row
+/// (OFFSET skipping) never construct it. `scanned` counts inspected
+/// cells/candidates. DeadlineExceeded when the ticker fires mid-walk.
+template <typename Feed>
+Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
+                uint64_t* scanned, Feed&& feed) {
+  const Query& q = *p.query;
+  auto expired = [] {
+    return Status::DeadlineExceeded(
+        "query deadline expired before execution completed");
+  };
+
+  switch (p.mode) {
+    case Mode::kPoint: {
+      const cube::CubeCell* cell = view.Find(p.sa, p.ca);
+      *scanned = 1;
+      if (cell != nullptr && PassesWhere(*cell, q)) {
+        feed([&] { return MakeRow(view, *cell); });
+      }
+      return Status::OK();
+    }
+
+    case Mode::kSliceSa:
+    case Mode::kSliceCa: {
+      auto group = p.mode == Mode::kSliceSa ? view.SliceBySa(p.sa)
+                                            : view.SliceByCa(p.ca);
+      for (cube::CubeView::CellId id : group) {
+        ++*scanned;
+        if (ticker.Tick()) return expired();
+        const cube::CubeCell& cell = view.cell(id);
+        if (PassesWhere(cell, q) &&
+            !feed([&] { return MakeRow(view, cell); })) {
+          break;
+        }
+      }
+      return Status::OK();
+    }
+
+    case Mode::kSliceAll: {
+      // Hand-constructed SLICE with no coordinates: every cell (the
+      // legacy shared-scan behaviour; unreachable through the parser).
+      for (const cube::CubeCell& cell : view.Cells()) {
+        ++*scanned;
+        if (ticker.Tick()) return expired();
+        if (!feed([&] { return MakeRow(view, cell); })) break;
+      }
+      return Status::OK();
+    }
+
+    case Mode::kDice: {
+      view.DiceVisit(
+          p.sa, p.ca, scanned,
+          [&](cube::CubeView::CellId id) {
+            const cube::CubeCell& cell = view.cell(id);
+            if (!PassesWhere(cell, q)) return true;
+            return feed([&] { return MakeRow(view, cell); });
+          },
+          [&] { return !ticker.Tick(); });
+      if (ticker.expired()) return expired();
+      return Status::OK();
+    }
+
+    case Mode::kTopK: {
+      uint64_t produced = 0;
+      for (cube::CubeView::CellId id : view.RankedByIndex(q.by)) {
+        if (produced >= q.k) break;
+        ++*scanned;
+        if (ticker.Tick()) return expired();
+        const cube::CubeCell& cell = view.cell(id);
+        if (!cube::PassesExplorerFilters(cell, p.explorer)) continue;
+        ++produced;
+        bool keep = feed([&] {
+          ResultRow row = MakeRow(view, cell);
+          row.value = cell.Value(q.by);
+          return row;
+        });
+        if (!keep) break;
+      }
+      return Status::OK();
+    }
+
+    case Mode::kRollup:
+    case Mode::kDrilldown: {
+      auto ids = p.mode == Mode::kRollup
+                     ? view.ParentsOf(cube::CellCoordinates{p.sa, p.ca})
+                     : view.ChildrenOf(cube::CellCoordinates{p.sa, p.ca});
+      for (cube::CubeView::CellId id : ids) {
+        ++*scanned;
+        if (ticker.Tick()) return expired();
+        const cube::CubeCell& cell = view.cell(id);
+        if (PassesWhere(cell, q) &&
+            !feed([&] { return MakeRow(view, cell); })) {
+          break;
+        }
+      }
+      return Status::OK();
+    }
+
+    case Mode::kScan: {
+      // Findings come pre-computed from the shared pass; the row stream is
+      // their sorted order.
+      *scanned = view.NumCells();
+      if (q.verb == Verb::kSurprises) {
+        cube::SortSurprises(&p.surprises);
+        for (const cube::SurpriseFinding& f : p.surprises) {
+          bool keep = feed([&] {
+            ResultRow row = MakeRow(view, *f.cell);
+            row.value = f.value;
+            row.aux = f.delta;
+            row.aux2 = f.best_parent_value;
+            return row;
+          });
+          if (!keep) break;
+        }
+      } else {
+        cube::SortReversals(&p.reversals);
+        for (const cube::GranularityReversal& r : p.reversals) {
+          bool keep = feed([&] {
+            ResultRow row = MakeRow(view, *r.parent);
+            row.value = r.parent_value;
+            row.aux = r.min_child_value;
+            row.aux2 = static_cast<double>(r.children.size());
+            row.tag = r.children_higher ? "masked" : "inflated";
+            return row;
+          });
+          if (!keep) break;
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled query mode");
+}
+
+/// Streams one prepared query into a sink: Begin, the page's rows, and
+/// pagination accounting. Never calls sink.Finish (see ExecuteToSink).
+Status EmitPrepared(const cube::CubeView& view, Prepared& p,
+                    const QueryContext& ctx, RowSink& sink,
+                    StreamStats* stats) {
+  const Query& q = *p.query;
+  stats->begun = true;
+  if (!sink.Begin(HeaderFor(q))) {
+    stats->aborted = true;
+    stats->exhausted = false;
+    return Status::OK();
+  }
+
+  const uint64_t offset = q.offset.value_or(0);
+  Pager pager(offset, q.limit, sink);
+  DeadlineTicker ticker(ctx, kDeadlineStride);
+  uint64_t scanned = 0;
+  Status status;
+
+  if (q.order) {
+    // Ordered answers need every stream row before the sort; pagination
+    // slices the sorted vector. No scan pushdown is possible here.
+    std::vector<ResultRow> rows;
+    status = WalkRows(view, p, ticker, &scanned, [&rows](auto&& make) {
+      rows.push_back(make());
+      return true;
+    });
+    if (status.ok()) {
+      SortRows(*q.order, &rows);
+      // The pager learns about non-exhaustion by being offered the first
+      // row past the page, so no special casing is needed here.
+      for (ResultRow& row : rows) {
+        if (!pager.Offer([&row]() -> ResultRow&& { return std::move(row); })) {
+          break;
+        }
+      }
+    }
+  } else {
+    status = WalkRows(view, p, ticker, &scanned, [&pager](auto&& make) {
+      return pager.Offer(make);
+    });
+  }
+
+  stats->cells_scanned = scanned;
+  stats->rows_emitted = pager.emitted();
+  stats->aborted = pager.aborted();
+  stats->exhausted = !pager.more() && !pager.aborted();
+  stats->next_offset = offset + pager.emitted();
+  return status;
+}
+
 }  // namespace
 
 Executor::Executor(const cube::CubeView& view) : view_(view) {
@@ -161,72 +453,83 @@ Result<fpm::Itemset> Executor::ResolveItems(
   return fpm::Itemset(std::move(items));
 }
 
+namespace {
+
+/// Resolves one query's coordinates and classifies its index path.
+Prepared PrepareQuery(const Executor& executor, const Query& query) {
+  Prepared p;
+  p.query = &query;
+  auto sa = executor.ResolveItems(query.sa,
+                                  relational::AttributeKind::kSegregation);
+  if (!sa.ok()) {
+    p.error = sa.status();
+    return p;
+  }
+  p.sa = std::move(sa).value();
+  auto ca = executor.ResolveItems(query.ca,
+                                  relational::AttributeKind::kContext);
+  if (!ca.ok()) {
+    p.error = ca.status();
+    return p;
+  }
+  p.ca = std::move(ca).value();
+  p.explorer = ExplorerOptionsFor(query);
+  p.mode = ClassifyQuery(query);
+  return p;
+}
+
+}  // namespace
+
 Result<QueryResult> Executor::Execute(const Query& query,
                                       const QueryContext& ctx) const {
   return std::move(ExecuteBatch({query}, ctx)[0]);
+}
+
+Status Executor::ExecuteToSink(const Query& query, const QueryContext& ctx,
+                               RowSink& sink, StreamStats* stats) const {
+  StreamStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = StreamStats{};
+
+  Prepared p = PrepareQuery(*this, query);
+  if (!p.error.ok()) return p.error;
+  if (ctx.Expired()) {
+    return Status::DeadlineExceeded(
+        "query deadline expired before execution completed");
+  }
+  if (p.mode == Mode::kScan) {
+    // A lone analytic query still pays one cell pass; batches amortise it
+    // through ExecuteBatch instead.
+    if (!RunSharedScan(view_, {&p}, ctx)) {
+      return Status::DeadlineExceeded(
+          "query deadline expired before execution completed");
+    }
+  }
+  return EmitPrepared(view_, p, ctx, sink, stats);
 }
 
 std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     const std::vector<Query>& queries, const QueryContext& ctx) const {
   // --- prepare: resolve coordinates, classify by index path --------------
   std::vector<Prepared> prepared(queries.size());
-  bool any_scan = false;
+  std::vector<Prepared*> scans;
   for (size_t i = 0; i < queries.size(); ++i) {
-    Prepared& p = prepared[i];
-    p.query = &queries[i];
-    auto sa = ResolveItems(queries[i].sa,
-                           relational::AttributeKind::kSegregation);
-    if (!sa.ok()) {
-      p.error = sa.status();
-      continue;
+    prepared[i] = PrepareQuery(*this, queries[i]);
+    if (prepared[i].error.ok() && prepared[i].mode == Mode::kScan) {
+      scans.push_back(&prepared[i]);
     }
-    p.sa = std::move(sa).value();
-    auto ca = ResolveItems(queries[i].ca,
-                           relational::AttributeKind::kContext);
-    if (!ca.ok()) {
-      p.error = ca.status();
-      continue;
-    }
-    p.ca = std::move(ca).value();
-    p.explorer = ExplorerOptionsFor(queries[i]);
-    p.mode = ClassifyQuery(queries[i]);
-    if (p.mode == Mode::kScan) any_scan = true;
   }
 
   // --- one shared pass over the cell array for every analytic query ------
-  // Each cell is evaluated against each SURPRISES/REVERSALS query via the
-  // view's precomputed parent/child adjacency (the explorer's per-cell
-  // evaluators) — B analytic queries walk the cube once, not B times.
   bool scan_expired = false;
-  if (any_scan) {
-    // Deadline probes are amortised: one clock read per kDeadlineStride
-    // cells, not per cell.
-    constexpr size_t kDeadlineStride = 4096;
-    const size_t n = view_.NumCells();
-    for (cube::CubeView::CellId id = 0; id < n; ++id) {
-      if (id % kDeadlineStride == 0 && ctx.Expired()) {
-        scan_expired = true;
-        break;
-      }
-      for (Prepared& p : prepared) {
-        if (p.mode != Mode::kScan || !p.error.ok()) continue;
-        const Query& q = *p.query;
-        if (q.verb == Verb::kSurprises) {
-          if (auto finding = cube::EvaluateSurprise(view_, id, q.by,
-                                                    q.threshold, p.explorer)) {
-            p.surprises.push_back(*finding);
-          }
-        } else {
-          if (auto reversal = cube::EvaluateReversal(view_, id, q.by,
-                                                     q.threshold, p.explorer)) {
-            p.reversals.push_back(std::move(*reversal));
-          }
-        }
-      }
-    }
+  if (!scans.empty()) {
+    scan_expired = !RunSharedScan(view_, scans, ctx);
   }
 
   // --- finalise each query, in input order --------------------------------
+  // Every verb now streams: the materialised answer is the stream captured
+  // by a VectorSink, so the batch path and the chunked HTTP path can never
+  // produce different rows.
   std::vector<Result<QueryResult>> out;
   out.reserve(queries.size());
   for (Prepared& p : prepared) {
@@ -241,136 +544,18 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
           "query deadline expired before execution completed"));
       continue;
     }
-    const Query& q = *p.query;
-    QueryResult result;
-    result.verb = q.verb;
-    result.by = q.by;
-
-    switch (p.mode) {
-      case Mode::kPoint: {
-        const cube::CubeCell* cell = view_.Find(p.sa, p.ca);
-        if (cell != nullptr && PassesWhere(*cell, q)) {
-          result.rows.push_back(MakeRow(view_, *cell));
-        }
-        result.cells_scanned = 1;
-        break;
-      }
-
-      case Mode::kSliceSa:
-      case Mode::kSliceCa: {
-        auto group = p.mode == Mode::kSliceSa ? view_.SliceBySa(p.sa)
-                                              : view_.SliceByCa(p.ca);
-        for (cube::CubeView::CellId id : group) {
-          const cube::CubeCell& cell = view_.cell(id);
-          if (PassesWhere(cell, q)) {
-            result.rows.push_back(MakeRow(view_, cell));
-          }
-        }
-        result.cells_scanned = group.size();
-        break;
-      }
-
-      case Mode::kSliceAll:
-        // Hand-constructed SLICE with no coordinates: every cell (the
-        // legacy shared-scan behaviour; unreachable through the parser).
-        for (const cube::CubeCell& cell : view_.Cells()) {
-          result.rows.push_back(MakeRow(view_, cell));
-        }
-        result.cells_scanned = view_.NumCells();
-        break;
-
-      case Mode::kDice: {
-        uint64_t examined = 0;
-        for (cube::CubeView::CellId id : view_.Dice(p.sa, p.ca, &examined)) {
-          const cube::CubeCell& cell = view_.cell(id);
-          if (PassesWhere(cell, q)) {
-            result.rows.push_back(MakeRow(view_, cell));
-          }
-        }
-        result.cells_scanned = examined;
-        break;
-      }
-
-      case Mode::kTopK: {
-        uint64_t walked = 0;
-        result.has_value = true;
-        for (cube::CubeView::CellId id : view_.RankedByIndex(q.by)) {
-          if (result.rows.size() >= q.k) break;
-          ++walked;
-          const cube::CubeCell& cell = view_.cell(id);
-          if (!cube::PassesExplorerFilters(cell, p.explorer)) continue;
-          ResultRow row = MakeRow(view_, cell);
-          row.value = cell.Value(q.by);
-          result.rows.push_back(std::move(row));
-        }
-        result.cells_scanned = walked;
-        break;
-      }
-
-      case Mode::kRollup: {
-        auto parents = view_.ParentsOf(cube::CellCoordinates{p.sa, p.ca});
-        for (cube::CubeView::CellId id : parents) {
-          const cube::CubeCell& cell = view_.cell(id);
-          if (PassesWhere(cell, q)) {
-            result.rows.push_back(MakeRow(view_, cell));
-          }
-        }
-        result.cells_scanned = parents.size();
-        break;
-      }
-
-      case Mode::kDrilldown: {
-        auto children = view_.ChildrenOf(cube::CellCoordinates{p.sa, p.ca});
-        for (cube::CubeView::CellId id : children) {
-          const cube::CubeCell& cell = view_.cell(id);
-          if (PassesWhere(cell, q)) {
-            result.rows.push_back(MakeRow(view_, cell));
-          }
-        }
-        result.cells_scanned = children.size();
-        break;
-      }
-
-      case Mode::kScan: {
-        if (q.verb == Verb::kSurprises) {
-          cube::SortSurprises(&p.surprises);
-          result.has_value = true;
-          result.has_aux = true;
-          result.aux_name = "delta";
-          result.has_aux2 = true;
-          result.aux2_name = "best_parent";
-          for (const cube::SurpriseFinding& f : p.surprises) {
-            ResultRow row = MakeRow(view_, *f.cell);
-            row.value = f.value;
-            row.aux = f.delta;
-            row.aux2 = f.best_parent_value;
-            result.rows.push_back(std::move(row));
-          }
-        } else {
-          cube::SortReversals(&p.reversals);
-          result.has_value = true;
-          result.has_aux = true;
-          result.aux_name = "boundary_child";
-          result.has_aux2 = true;
-          result.aux2_name = "children";
-          result.has_tag = true;
-          result.tag_name = "direction";
-          for (const cube::GranularityReversal& r : p.reversals) {
-            ResultRow row = MakeRow(view_, *r.parent);
-            row.value = r.parent_value;
-            row.aux = r.min_child_value;
-            row.aux2 = static_cast<double>(r.children.size());
-            row.tag = r.children_higher ? "masked" : "inflated";
-            result.rows.push_back(std::move(row));
-          }
-        }
-        result.cells_scanned = view_.NumCells();
-        break;
-      }
+    VectorSink sink;
+    StreamStats stats;
+    Status status = EmitPrepared(view_, p, ctx, sink, &stats);
+    if (!status.ok()) {
+      out.push_back(status);
+      continue;
     }
-
-    ApplyOrderAndLimit(q, &result);
-    out.push_back(std::move(result));
+    ResultTrailer trailer;
+    trailer.cells_scanned = stats.cells_scanned;
+    sink.Finish(trailer);
+    sink.SetPagination(stats.exhausted, stats.next_offset);
+    out.push_back(sink.TakeResult());
   }
   return out;
 }

@@ -32,9 +32,36 @@
 #include "query/ast.h"
 #include "query/context.h"
 #include "query/query_result.h"
+#include "query/row_sink.h"
 
 namespace scube {
 namespace query {
+
+/// \brief Accounting for one streamed execution (ExecuteToSink).
+struct StreamStats {
+  /// sink.Begin was called — bytes may be on the wire. When false, the
+  /// query failed before any output (resolution error, expired deadline)
+  /// and the caller can still answer with a plain error response.
+  bool begun = false;
+
+  /// The sink stopped the stream (Row returned false) for its own reasons
+  /// — typically a closed client connection. Distinct from the page limit.
+  bool aborted = false;
+
+  /// The underlying row stream ran out: there is no further page.
+  bool exhausted = true;
+
+  /// Rows delivered to the sink (after OFFSET skipping and LIMIT).
+  uint64_t rows_emitted = 0;
+
+  /// Absolute row offset (into the unpaginated stream) the next page
+  /// starts at; meaningful when !exhausted.
+  uint64_t next_offset = 0;
+
+  /// Cells/candidates inspected — LIMIT and deadline pushdown stop walks
+  /// early, so this can be far below the materialised path's count.
+  uint64_t cells_scanned = 0;
+};
 
 /// \brief Executes queries against one sealed cube snapshot.
 ///
@@ -47,6 +74,23 @@ class Executor {
   /// Executes one query.
   Result<QueryResult> Execute(const Query& query,
                               const QueryContext& ctx = {}) const;
+
+  /// Executes one query, pushing rows into `sink` as the index walks
+  /// produce them (O(1) result memory for unordered verbs). The page is
+  /// `query.offset` / `query.limit` over the deterministic row stream;
+  /// `stats` reports whether more rows remain and where to resume.
+  ///
+  /// Protocol: this calls sink.Begin and sink.Row only — never
+  /// sink.Finish; the caller finishes the sink with the trailer (it owns
+  /// the cursor token). When the returned status is not OK and
+  /// stats->begun is false, the sink was never touched.
+  ///
+  /// LIMIT/deadline pushdown: ranked walks, slice walks and posting-list
+  /// intersections stop as soon as the page is full, the sink declines a
+  /// row, or the context deadline expires (checked every few thousand
+  /// candidates, not just at statement boundaries).
+  Status ExecuteToSink(const Query& query, const QueryContext& ctx,
+                       RowSink& sink, StreamStats* stats = nullptr) const;
 
   /// Executes a batch, sharing one cell pass across the analytic
   /// (SURPRISES/REVERSALS) queries. result[i] answers queries[i].

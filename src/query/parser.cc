@@ -156,7 +156,18 @@ class Parser {
     }
     if (ConsumeKeyword("limit")) {
       SCUBE_ASSIGN_OR_RETURN(uint64_t n, ParseInt("LIMIT"));
+      // LIMIT 0 would page forever: every page is empty but the resume
+      // cursor never advances. Reject it like TOPK 0.
+      if (n == 0) {
+        return Error(Peek(), "LIMIT must be positive (omit it for all rows)");
+      }
       q.limit = n;
+    }
+    // OFFSET may follow LIMIT (the usual pagination pair) or stand alone
+    // (skip a prefix of the row stream).
+    if (ConsumeKeyword("offset")) {
+      SCUBE_ASSIGN_OR_RETURN(uint64_t n, ParseInt("OFFSET"));
+      q.offset = n;
     }
     Token rest = Peek();
     if (rest.type != TokenType::kEnd) {
@@ -195,7 +206,7 @@ class Parser {
   bool AtClauseBoundary() const {
     return Peek().type == TokenType::kEnd || PeekKeyword("from") ||
            PeekKeyword("where") || PeekKeyword("order") ||
-           PeekKeyword("limit");
+           PeekKeyword("limit") || PeekKeyword("offset");
   }
 
   Status ParseCoords(Query* q, bool required) {

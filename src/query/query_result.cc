@@ -1,108 +1,32 @@
 #include "query/query_result.h"
 
-#include <cstdio>
-
-#include "common/string_util.h"
+#include "query/row_sink.h"
 
 namespace scube {
 namespace query {
 
-namespace {
-
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-/// Escapes a CSV field (quotes when it contains comma/quote/newline).
-std::string CsvField(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-// JSON string escaping is shared with the HTTP front-end (scube::JsonQuote,
-// common/string_util.h) so the /query handler and the result serialiser
-// cannot drift.
-std::string JsonString(const std::string& s) { return JsonQuote(s); }
-
-}  // namespace
+// Both renderings replay the materialised result through the streaming
+// writers (query/row_sink.h): one code path produces the bytes whether the
+// answer was streamed live or served from the cache, so the two can never
+// drift apart.
 
 std::string ToCsv(const QueryResult& result) {
-  std::string out = "sa,ca,T,M,units";
-  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
-    out += ",";
-    out += indexes::IndexKindToString(kind);
-  }
-  if (result.has_value) out += ",value";
-  if (result.has_aux) out += "," + result.aux_name;
-  if (result.has_aux2) out += "," + result.aux2_name;
-  if (result.has_tag) out += "," + result.tag_name;
-  out += '\n';
-
-  for (const ResultRow& row : result.rows) {
-    out += CsvField(row.sa) + "," + CsvField(row.ca) + "," +
-           std::to_string(row.t) + "," + std::to_string(row.m) + "," +
-           std::to_string(row.units);
-    for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
-      out += ",";
-      if (row.defined) {
-        out += FormatDouble(row.indexes[static_cast<size_t>(kind)]);
-      }
-    }
-    if (result.has_value) out += "," + FormatDouble(row.value);
-    if (result.has_aux) out += "," + FormatDouble(row.aux);
-    if (result.has_aux2) out += "," + FormatDouble(row.aux2);
-    if (result.has_tag) out += "," + CsvField(row.tag);
-    out += '\n';
-  }
+  std::string out;
+  CsvWriter writer([&out](std::string_view chunk) {
+    out.append(chunk);
+    return true;
+  });
+  ReplayResult(result, writer);
   return out;
 }
 
 std::string ToJson(const QueryResult& result) {
-  std::string out = "{\"verb\":";
-  out += JsonString(VerbToString(result.verb));
-  out += ",\"by\":";
-  out += JsonString(indexes::IndexKindToString(result.by));
-  out += ",\"cells_scanned\":" + std::to_string(result.cells_scanned);
-  out += ",\"rows\":[";
-  for (size_t i = 0; i < result.rows.size(); ++i) {
-    const ResultRow& row = result.rows[i];
-    if (i > 0) out += ',';
-    out += "{\"sa\":" + JsonString(row.sa) + ",\"ca\":" + JsonString(row.ca) +
-           ",\"T\":" + std::to_string(row.t) +
-           ",\"M\":" + std::to_string(row.m) +
-           ",\"units\":" + std::to_string(row.units) + ",\"indexes\":{";
-    bool first = true;
-    for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
-      if (!first) out += ',';
-      first = false;
-      out += JsonString(indexes::IndexKindToString(kind));
-      out += ':';
-      out += row.defined
-                 ? FormatDouble(row.indexes[static_cast<size_t>(kind)])
-                 : "null";
-    }
-    out += '}';
-    if (result.has_value) out += ",\"value\":" + FormatDouble(row.value);
-    if (result.has_aux) {
-      out += "," + JsonString(result.aux_name) + ":" + FormatDouble(row.aux);
-    }
-    if (result.has_aux2) {
-      out += "," + JsonString(result.aux2_name) + ":" + FormatDouble(row.aux2);
-    }
-    if (result.has_tag) {
-      out += "," + JsonString(result.tag_name) + ":" + JsonString(row.tag);
-    }
-    out += '}';
-  }
-  out += "]}";
+  std::string out;
+  JsonWriter writer([&out](std::string_view chunk) {
+    out.append(chunk);
+    return true;
+  });
+  ReplayResult(result, writer);
   return out;
 }
 

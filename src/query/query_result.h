@@ -2,6 +2,11 @@
 // query. Rows copy cell payloads (labels + counts + the six indexes) out of
 // the cube snapshot so results outlive it — they can sit in the LRU cache
 // while newer cube versions are published.
+//
+// The streaming read path (query/row_sink.h) decomposes an answer into
+// ResultHeader -> ResultRow* -> ResultTrailer; QueryResult is exactly that
+// protocol materialised, so a cached QueryResult replays through any
+// RowSink byte-identically to a live streamed execution.
 
 #ifndef SCUBE_QUERY_QUERY_RESULT_H_
 #define SCUBE_QUERY_QUERY_RESULT_H_
@@ -30,7 +35,7 @@ struct ResultRow {
   bool defined = false;
   std::array<double, indexes::kNumIndexKinds> indexes{};
 
-  /// Verb-specific columns (meaning recorded in QueryResult):
+  /// Verb-specific columns (meaning recorded in the header):
   ///   TOPK              value = ranked index value
   ///   SURPRISES         value = cell value, aux = delta vs best parent
   ///   REVERSALS         value = parent value, aux = boundary child value,
@@ -41,8 +46,10 @@ struct ResultRow {
   std::string tag;
 };
 
-/// \brief A complete query answer.
-struct QueryResult {
+/// \brief Everything known about an answer *before* its first row: the
+/// verb, the ranked index and the verb-specific column layout. Streamed
+/// first so writers can emit their header bytes before any row exists.
+struct ResultHeader {
   Verb verb = Verb::kSlice;
   indexes::IndexKind by = indexes::IndexKind::kDissimilarity;
 
@@ -54,18 +61,48 @@ struct QueryResult {
   std::string aux_name;
   std::string aux2_name;
   std::string tag_name;
+};
 
+/// \brief Everything known only *after* the last row: scan accounting and
+/// the pagination resume token. Streamed last (the trailing HTTP chunk).
+struct ResultTrailer {
+  /// Cells scanned to produce the result (shared-scan accounting).
+  uint64_t cells_scanned = 0;
+
+  /// Opaque resume token (see query/row_sink.h EncodeCursor); empty when
+  /// the row stream is exhausted — there is no further page.
+  std::string next_cursor;
+};
+
+/// \brief A complete query answer: the streaming protocol, materialised.
+struct QueryResult : ResultHeader {
   std::vector<ResultRow> rows;
 
   /// Cells scanned to produce the result (shared-scan accounting).
   uint64_t cells_scanned = 0;
+
+  /// Opaque resume token for the next page; empty when exhausted. Stamped
+  /// by the serving layer (it knows the cube name and pinned version).
+  std::string next_cursor;
+
+  /// Pagination plumbing (not serialised): whether the underlying row
+  /// stream ended, and the absolute row offset the next page starts at.
+  /// The service turns these into `next_cursor` tokens.
+  bool exhausted = true;
+  uint64_t next_offset = 0;
 };
 
 /// CSV rendering: header + one line per row; indexes "" when undefined.
+/// A non-empty next_cursor appends a trailing "# next_cursor: ..." comment.
+/// Implemented by replaying the result through a CsvWriter, so it is
+/// byte-identical to the streaming path by construction.
 std::string ToCsv(const QueryResult& result);
 
-/// JSON rendering: {"verb": ..., "by": ..., "rows": [...]}. Stable key
-/// order; undefined index values serialise as null.
+/// JSON rendering: {"verb":...,"by":...,"rows":[...],"cells_scanned":N}
+/// plus "next_cursor" when one is set. Stable key order; undefined index
+/// values serialise as null. Implemented by replaying the result through a
+/// JsonWriter, so it is byte-identical to the streaming path by
+/// construction.
 std::string ToJson(const QueryResult& result);
 
 }  // namespace query

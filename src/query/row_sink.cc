@@ -1,0 +1,277 @@
+#include "query/row_sink.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace scube {
+namespace query {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Escapes a CSV field (quotes when it contains comma/quote/newline).
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// JSON string escaping is shared with the HTTP front-end (scube::JsonQuote,
+// common/string_util.h) so the /query handler and the result serialisers
+// cannot drift.
+std::string JsonString(const std::string& s) { return JsonQuote(s); }
+
+}  // namespace
+
+// --- VectorSink -------------------------------------------------------------
+
+bool VectorSink::Begin(const ResultHeader& header) {
+  static_cast<ResultHeader&>(result_) = header;
+  return true;
+}
+
+bool VectorSink::Row(const ResultRow& row) {
+  result_.rows.push_back(row);
+  return true;
+}
+
+bool VectorSink::Row(ResultRow&& row) {
+  result_.rows.push_back(std::move(row));
+  return true;
+}
+
+void VectorSink::Finish(const ResultTrailer& trailer) {
+  result_.cells_scanned = trailer.cells_scanned;
+  result_.next_cursor = trailer.next_cursor;
+}
+
+// --- JsonWriter -------------------------------------------------------------
+
+bool JsonWriter::Begin(const ResultHeader& header) {
+  header_ = header;
+  std::string out = "{\"verb\":";
+  out += JsonString(VerbToString(header.verb));
+  out += ",\"by\":";
+  out += JsonString(indexes::IndexKindToString(header.by));
+  out += ",\"rows\":[";
+  return Write(out);
+}
+
+bool JsonWriter::Row(const ResultRow& row) {
+  std::string out;
+  if (!first_row_) out += ',';
+  first_row_ = false;
+  out += "{\"sa\":" + JsonString(row.sa) + ",\"ca\":" + JsonString(row.ca) +
+         ",\"T\":" + std::to_string(row.t) + ",\"M\":" + std::to_string(row.m) +
+         ",\"units\":" + std::to_string(row.units) + ",\"indexes\":{";
+  bool first = true;
+  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonString(indexes::IndexKindToString(kind));
+    out += ':';
+    out += row.defined ? FormatDouble(row.indexes[static_cast<size_t>(kind)])
+                       : "null";
+  }
+  out += '}';
+  if (header_.has_value) out += ",\"value\":" + FormatDouble(row.value);
+  if (header_.has_aux) {
+    out += "," + JsonString(header_.aux_name) + ":" + FormatDouble(row.aux);
+  }
+  if (header_.has_aux2) {
+    out += "," + JsonString(header_.aux2_name) + ":" + FormatDouble(row.aux2);
+  }
+  if (header_.has_tag) {
+    out += "," + JsonString(header_.tag_name) + ":" + JsonString(row.tag);
+  }
+  out += '}';
+  return Write(out);
+}
+
+void JsonWriter::Finish(const ResultTrailer& trailer) {
+  std::string out = "],\"cells_scanned\":" +
+                    std::to_string(trailer.cells_scanned);
+  if (!trailer.next_cursor.empty()) {
+    out += ",\"next_cursor\":" + JsonString(trailer.next_cursor);
+  }
+  out += '}';
+  Write(out);
+}
+
+// --- CsvWriter --------------------------------------------------------------
+
+bool CsvWriter::Begin(const ResultHeader& header) {
+  header_ = header;
+  std::string out = "sa,ca,T,M,units";
+  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+    out += ",";
+    out += indexes::IndexKindToString(kind);
+  }
+  if (header.has_value) out += ",value";
+  if (header.has_aux) out += "," + header.aux_name;
+  if (header.has_aux2) out += "," + header.aux2_name;
+  if (header.has_tag) out += "," + header.tag_name;
+  out += '\n';
+  return Write(out);
+}
+
+bool CsvWriter::Row(const ResultRow& row) {
+  std::string out = CsvField(row.sa) + "," + CsvField(row.ca) + "," +
+                    std::to_string(row.t) + "," + std::to_string(row.m) + "," +
+                    std::to_string(row.units);
+  for (indexes::IndexKind kind : indexes::AllIndexKinds()) {
+    out += ",";
+    if (row.defined) {
+      out += FormatDouble(row.indexes[static_cast<size_t>(kind)]);
+    }
+  }
+  if (header_.has_value) out += "," + FormatDouble(row.value);
+  if (header_.has_aux) out += "," + FormatDouble(row.aux);
+  if (header_.has_aux2) out += "," + FormatDouble(row.aux2);
+  if (header_.has_tag) out += "," + CsvField(row.tag);
+  out += '\n';
+  return Write(out);
+}
+
+void CsvWriter::Finish(const ResultTrailer& trailer) {
+  if (!trailer.next_cursor.empty()) {
+    Write("# next_cursor: " + trailer.next_cursor + "\n");
+  }
+}
+
+// --- replay -----------------------------------------------------------------
+
+uint64_t ReplayResult(const QueryResult& result, RowSink& sink,
+                      const ResultTrailer* trailer_override, bool* aborted) {
+  uint64_t delivered = 0;
+  bool stopped = !sink.Begin(result);
+  if (!stopped) {
+    for (const ResultRow& row : result.rows) {
+      if (!sink.Row(row)) {
+        stopped = true;
+        break;
+      }
+      ++delivered;
+    }
+  }
+  ResultTrailer trailer;
+  if (trailer_override != nullptr) {
+    trailer = *trailer_override;
+  } else {
+    trailer.cells_scanned = result.cells_scanned;
+    trailer.next_cursor = result.next_cursor;
+  }
+  // A partially delivered stream has no valid resume point.
+  if (stopped) trailer.next_cursor.clear();
+  sink.Finish(trailer);
+  if (aborted != nullptr) *aborted = stopped;
+  return delivered;
+}
+
+// --- cursors ----------------------------------------------------------------
+
+namespace {
+constexpr char kCursorMagic[] = "scq1";
+constexpr char kCursorSep = '|';
+
+/// FNV-1a: stable across processes and library versions (std::hash is
+/// not), so a cursor survives a server restart against the same cubes.
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : s) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t CursorQueryHash(const Query& query) {
+  // The stream identity excludes pagination (carried by the cursor) and
+  // the FROM pin (validated against the cursor's own cube/version).
+  Query stripped = query;
+  stripped.cube.clear();
+  stripped.cube_version.reset();
+  stripped.limit.reset();
+  stripped.offset.reset();
+  return Fnv1a(Canonical(stripped));
+}
+
+std::string EncodeCursor(const Cursor& cursor) {
+  // The cube name goes LAST: it is the only field that may itself contain
+  // the separator, so the decoder re-joins the tail instead of rejecting.
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(cursor.query_hash));
+  std::string plain = std::string(kCursorMagic) + kCursorSep +
+                      std::to_string(cursor.version) + kCursorSep +
+                      std::to_string(cursor.position) + kCursorSep +
+                      hash_hex + kCursorSep + cursor.cube;
+  std::string token = Base64Encode(plain);
+  // URL-safe alphabet (RFC 4648 base64url): tokens travel as ?cursor=
+  // query parameters, where '+' would decode to a space and '/' can
+  // confuse path-aware middleware.
+  for (char& c : token) {
+    if (c == '+') c = '-';
+    if (c == '/') c = '_';
+  }
+  return token;
+}
+
+Result<Cursor> DecodeCursor(std::string_view token) {
+  std::string standard(token);
+  for (char& c : standard) {
+    if (c == '-') c = '+';
+    if (c == '_') c = '/';
+  }
+  auto plain = Base64Decode(standard);
+  if (!plain.ok()) {
+    return Status::InvalidArgument("malformed cursor: not base64");
+  }
+  std::vector<std::string> parts = Split(*plain, kCursorSep);
+  if (parts.size() < 5 || parts[0] != kCursorMagic) {
+    return Status::InvalidArgument("malformed cursor: bad layout");
+  }
+  Cursor cursor;
+  // Re-join the tail: the cube name may legitimately contain '|'.
+  cursor.cube = parts[4];
+  for (size_t i = 5; i < parts.size(); ++i) {
+    cursor.cube += kCursorSep;
+    cursor.cube += parts[i];
+  }
+  if (cursor.cube.empty()) {
+    return Status::InvalidArgument("malformed cursor: empty cube name");
+  }
+  auto version = ParseInt64(parts[1]);
+  auto position = ParseInt64(parts[2]);
+  if (!version.ok() || !position.ok() || *version <= 0 || *position < 0) {
+    return Status::InvalidArgument("malformed cursor: bad version/position");
+  }
+  // The hash field is 16 hex digits (full uint64 range).
+  if (parts[3].size() != 16) {
+    return Status::InvalidArgument("malformed cursor: bad query hash");
+  }
+  auto hash = ParseHexU64(parts[3]);
+  if (!hash.ok()) {
+    return Status::InvalidArgument("malformed cursor: bad query hash");
+  }
+  cursor.version = static_cast<uint64_t>(*version);
+  cursor.position = static_cast<uint64_t>(*position);
+  cursor.query_hash = *hash;
+  return cursor;
+}
+
+}  // namespace query
+}  // namespace scube

@@ -1,0 +1,186 @@
+// RowSink: the streaming read path of SCubeQL answers.
+//
+// Instead of materialising a full QueryResult and rendering it into one
+// string, the executor pushes rows into a RowSink one at a time:
+//
+//     sink.Begin(header)        once, before any row
+//     sink.Row(row) -> bool     per row; false = stop (backpressure,
+//                               page filled, client gone)
+//     sink.Finish(trailer)      once, after the last row
+//
+// Begin and Row are called by the row *producer* (Executor::ExecuteToSink,
+// ReplayResult); Finish is called by the *driver* (QueryService, the
+// serialisation helpers) because only it knows the trailer — the resume
+// cursor needs the cube name and pinned version, which the executor never
+// sees.
+//
+// Three sink families cover every consumer:
+//   VectorSink            materialises the stream back into a QueryResult
+//                         (the pre-streaming behaviour; feeds the cache),
+//   JsonWriter/CsvWriter  render incrementally through a write callback in
+//                         O(row) memory — the chunked HTTP path. ToJson and
+//                         ToCsv replay through these writers, so streamed
+//                         and materialised renderings are byte-identical
+//                         by construction.
+//
+// Cursors: an answer page (LIMIT n OFFSET k) that stops before the row
+// stream is exhausted yields an opaque resume token encoding
+// (cube name, sealed version, absolute row position). Resuming against the
+// same name@version snapshot continues the deterministic row stream exactly
+// where the page ended, so stitched pages equal the unpaginated answer.
+
+#ifndef SCUBE_QUERY_ROW_SINK_H_
+#define SCUBE_QUERY_ROW_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "query/query_result.h"
+
+namespace scube {
+namespace query {
+
+/// \brief Receives one answer as header -> rows -> trailer.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  /// Called once before any row. Returning false aborts the stream.
+  virtual bool Begin(const ResultHeader& header) = 0;
+
+  /// Called once per row. Returning false stops the producer (the scan
+  /// terminates early); Finish still follows.
+  virtual bool Row(const ResultRow& row) = 0;
+
+  /// Rvalue overload: producers hand freshly built rows here, so sinks
+  /// that store rows (VectorSink, the cache tee) can move the strings
+  /// instead of copying. Defaults to the const& version — renderers that
+  /// only read the row need not care.
+  virtual bool Row(ResultRow&& row) {
+    return Row(static_cast<const ResultRow&>(row));
+  }
+
+  /// Called once after the last row (see file comment for who calls it).
+  virtual void Finish(const ResultTrailer& trailer) = 0;
+};
+
+/// \brief Materialises the stream into a QueryResult — the streaming
+/// path's answer is exactly the pre-streaming materialised answer.
+class VectorSink : public RowSink {
+ public:
+  bool Begin(const ResultHeader& header) override;
+  bool Row(const ResultRow& row) override;
+  bool Row(ResultRow&& row) override;
+  void Finish(const ResultTrailer& trailer) override;
+
+  const QueryResult& result() const { return result_; }
+  QueryResult TakeResult() { return std::move(result_); }
+
+  /// Copies pagination plumbing (exhausted/next_offset) into the result;
+  /// the producer's StreamStats carry them, not the trailer.
+  void SetPagination(bool exhausted, uint64_t next_offset) {
+    result_.exhausted = exhausted;
+    result_.next_offset = next_offset;
+  }
+
+ private:
+  QueryResult result_;
+};
+
+/// \brief Base for incremental text renderers. Bytes go to `write`; a
+/// false return (client disconnected, buffer refused) aborts the stream:
+/// Row starts returning false and further output is suppressed.
+class ResultWriter : public RowSink {
+ public:
+  /// Sinks bytes; false = stop producing.
+  using WriteFn = std::function<bool(std::string_view)>;
+
+  explicit ResultWriter(WriteFn write) : write_(std::move(write)) {}
+
+  bool ok() const { return ok_; }
+
+ protected:
+  /// Forwards to the write callback, latching failure.
+  bool Write(std::string_view data) {
+    if (ok_ && !write_(data)) ok_ = false;
+    return ok_;
+  }
+
+ private:
+  WriteFn write_;
+  bool ok_ = true;
+};
+
+/// \brief Streams the ToJson rendering:
+/// {"verb":...,"by":...,"rows":[R,...],"cells_scanned":N[,"next_cursor":C]}.
+class JsonWriter : public ResultWriter {
+ public:
+  using ResultWriter::ResultWriter;
+
+  bool Begin(const ResultHeader& header) override;
+  bool Row(const ResultRow& row) override;
+  void Finish(const ResultTrailer& trailer) override;
+
+ private:
+  ResultHeader header_;
+  bool first_row_ = true;
+};
+
+/// \brief Streams the ToCsv rendering: header line, one line per row, and
+/// a trailing "# next_cursor: ..." comment when a resume token is set.
+class CsvWriter : public ResultWriter {
+ public:
+  using ResultWriter::ResultWriter;
+
+  bool Begin(const ResultHeader& header) override;
+  bool Row(const ResultRow& row) override;
+  void Finish(const ResultTrailer& trailer) override;
+
+ private:
+  ResultHeader header_;
+};
+
+/// Replays a materialised result through a sink: Begin, each row (stopping
+/// early if the sink asks), then Finish — this is how cache hits answer
+/// through the same interface as live streams. The trailer defaults to the
+/// result's own; the serving layer overrides it to stamp a freshly encoded
+/// resume cursor. When the sink stops the replay early (`aborted`, if
+/// given, reports this), the trailer's next_cursor is suppressed: a
+/// partial stream has no valid resume point — the same rule the live
+/// execution path applies. Returns the number of rows delivered.
+uint64_t ReplayResult(const QueryResult& result, RowSink& sink,
+                      const ResultTrailer* trailer_override = nullptr,
+                      bool* aborted = nullptr);
+
+/// \brief Decoded resume token: which snapshot the stream was walking,
+/// the absolute row position (into the unpaginated stream) to resume
+/// from, and a fingerprint of the statement that produced the stream so a
+/// cursor cannot be replayed against a different query.
+struct Cursor {
+  std::string cube;        ///< cube name
+  uint64_t version = 0;    ///< sealed version the stream is pinned to
+  uint64_t position = 0;   ///< absolute row offset of the next page
+  uint64_t query_hash = 0; ///< CursorQueryHash of the originating query
+};
+
+/// Fingerprint of the parts of a query that define its row stream: the
+/// canonical text with the pagination clauses (LIMIT/OFFSET) and the FROM
+/// pin stripped — those are carried by the cursor itself, and a client may
+/// legitimately change the page size between pages. Deterministic across
+/// processes (FNV-1a, not std::hash).
+uint64_t CursorQueryHash(const Query& query);
+
+/// Renders a cursor as an opaque URL-safe token (base64url).
+std::string EncodeCursor(const Cursor& cursor);
+
+/// Parses a token; InvalidArgument when malformed or not one of ours.
+Result<Cursor> DecodeCursor(std::string_view token);
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_ROW_SINK_H_

@@ -11,6 +11,70 @@
 namespace scube {
 namespace query {
 
+namespace {
+
+/// Stamps resume tokens onto answers whose row stream has more pages:
+/// the token pins the exact snapshot (name@version) plus the absolute
+/// resume position, so the next page continues the same deterministic
+/// stream. Deterministic, so cached and freshly executed answers carry
+/// identical tokens.
+void StampCursor(QueryResponse* resp) {
+  if (!resp->status.ok() || resp->result.exhausted) return;
+  resp->result.next_cursor =
+      EncodeCursor(Cursor{resp->cube, resp->cube_version,
+                          resp->result.next_offset, resp->query_hash});
+}
+
+/// Forwards a stream to `out` while materialising a copy for the result
+/// cache — up to `max_rows` rows, beyond which the copy is dropped and the
+/// stream stays O(1): giant answers flow through uncached.
+class CachingTee : public RowSink {
+ public:
+  CachingTee(RowSink& out, size_t max_rows)
+      : out_(out), max_rows_(max_rows) {}
+
+  bool Begin(const ResultHeader& header) override {
+    vec_.Begin(header);
+    return out_.Begin(header);
+  }
+
+  bool Row(const ResultRow& row) override {
+    CollectForCache(row);
+    return out_.Row(row);
+  }
+
+  bool Row(ResultRow&& row) override {
+    CollectForCache(row);  // the cache copy; the original moves onward
+    return out_.Row(std::move(row));
+  }
+
+  void Finish(const ResultTrailer& trailer) override {
+    vec_.Finish(trailer);
+    out_.Finish(trailer);
+  }
+
+  bool cacheable() const { return cacheable_; }
+  VectorSink& collected() { return vec_; }
+
+ private:
+  void CollectForCache(const ResultRow& row) {
+    if (!cacheable_) return;
+    if (vec_.result().rows.size() >= max_rows_) {
+      cacheable_ = false;
+      vec_ = VectorSink();  // free what was collected
+    } else {
+      vec_.Row(row);
+    }
+  }
+
+  RowSink& out_;
+  size_t max_rows_;
+  VectorSink vec_;
+  bool cacheable_ = true;
+};
+
+}  // namespace
+
 QueryService::QueryService(CubeStore* store, ServiceOptions options)
     : store_(store),
       options_(std::move(options)),
@@ -70,6 +134,26 @@ size_t QueryService::queue_depth() const {
   return queue_.size();
 }
 
+Status QueryService::AdmitOrShed(bool stream) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (stopping_) return Status::Unavailable("service is shutting down");
+  const size_t backlog =
+      queue_.size() + streams_in_flight_.load(std::memory_order_relaxed);
+  if (backlog >= options_.max_pending) {
+    return Status::Unavailable(
+        "admission queue full (" + std::to_string(backlog) +
+        " pending >= " + std::to_string(options_.max_pending) +
+        "); retry later");
+  }
+  if (stream) streams_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+QueryContext QueryService::WithDefaultDeadline(const QueryContext& ctx) const {
+  if (ctx.has_deadline() || options_.default_deadline_ms <= 0) return ctx;
+  return QueryContext::WithTimeout(options_.default_deadline_ms);
+}
+
 QueryResponse QueryService::ExecuteOne(const std::string& text,
                                        const QueryContext& ctx) {
   return std::move(ExecuteBatch({text}, ctx)[0]);
@@ -83,31 +167,18 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   // Shedding must be cheap: check the backlog before any parse or cache
   // work, and reject the whole batch when the queue is at its bound. The
   // front-end maps Unavailable to HTTP 503 + Retry-After.
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    const bool full = queue_.size() >= options_.max_pending;
-    if (stopping_ || full) {
-      Status shed = stopping_
-                        ? Status::Unavailable("service is shutting down")
-                        : Status::Unavailable(
-                              "admission queue full (" +
-                              std::to_string(queue_.size()) + " pending >= " +
-                              std::to_string(options_.max_pending) +
-                              "); retry later");
-      for (size_t i = 0; i < texts.size(); ++i) {
-        responses[i].text = texts[i];
-        responses[i].status = shed;
-      }
-      rejected_.fetch_add(texts.size(), std::memory_order_relaxed);
-      return responses;
+  Status admitted = AdmitOrShed(/*stream=*/false);
+  if (!admitted.ok()) {
+    for (size_t i = 0; i < texts.size(); ++i) {
+      responses[i].text = texts[i];
+      responses[i].status = admitted;
     }
+    rejected_.fetch_add(texts.size(), std::memory_order_relaxed);
+    return responses;
   }
   accepted_.fetch_add(texts.size(), std::memory_order_relaxed);
 
-  QueryContext context = ctx;
-  if (!context.has_deadline() && options_.default_deadline_ms > 0) {
-    context = QueryContext::WithTimeout(options_.default_deadline_ms);
-  }
+  QueryContext context = WithDefaultDeadline(ctx);
 
   // --- parse, resolve cube, consult the cache -----------------------------
   // A miss is one distinct (canonical) query awaiting execution, plus every
@@ -138,6 +209,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     Query query = std::move(parsed).value();
     resp.canonical = Canonical(query);
     resp.cube = query.cube.empty() ? options_.default_cube : query.cube;
+    resp.query_hash = CursorQueryHash(query);
 
     uint64_t version = 0;
     CubeStore::Snapshot snapshot;
@@ -182,6 +254,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
 
   if (groups.empty()) {
     completed_.fetch_add(texts.size(), std::memory_order_relaxed);
+    for (QueryResponse& resp : responses) StampCursor(&resp);
     return responses;
   }
 
@@ -322,7 +395,168 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   }
   completed_.fetch_add(texts.size() - shed_in_race,
                        std::memory_order_relaxed);
+  for (QueryResponse& resp : responses) StampCursor(&resp);
   return responses;
+}
+
+QueryService::StreamOutcome QueryService::ExecuteStreaming(
+    const std::string& text, RowSink& sink, const QueryContext& ctx,
+    const std::string& cursor) {
+  StreamOutcome outcome;
+  outcome.text = text;
+
+  // --- admission control: streams obey the same backlog bound as batches.
+  // Streaming runs on the caller's thread, but each stream still holds a
+  // cube snapshot and burns CPU, so it occupies an admission slot for its
+  // whole lifetime (streams_in_flight_) and an overloaded service sheds
+  // new work the same way (the front-end maps Unavailable to 503 +
+  // Retry-After).
+  Status admitted = AdmitOrShed(/*stream=*/true);
+  if (!admitted.ok()) {
+    outcome.status = std::move(admitted);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return outcome;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+
+  QueryContext context = WithDefaultDeadline(ctx);
+
+  // Every post-admission exit funnels through here: the admission slot is
+  // released exactly once, when the stream is done.
+  auto finish = [this, &outcome](Status status) -> StreamOutcome& {
+    streams_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    outcome.status = std::move(status);
+    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    return outcome;
+  };
+
+  // --- parse and resolve the snapshot -------------------------------------
+  auto parsed = Parse(text);
+  if (!parsed.ok()) return finish(parsed.status());
+  Query query = std::move(parsed).value();
+  outcome.canonical = Canonical(query);
+  outcome.cube = query.cube.empty() ? options_.default_cube : query.cube;
+  const uint64_t query_hash = CursorQueryHash(query);
+
+  CubeStore::Snapshot snapshot;
+  uint64_t version = 0;
+  if (!cursor.empty()) {
+    // Resume: the token pins the snapshot the previous page walked, so the
+    // stitched stream is deterministic even across publishes.
+    auto decoded = DecodeCursor(cursor);
+    if (!decoded.ok()) return finish(decoded.status());
+    if (decoded->cube != outcome.cube) {
+      return finish(Status::InvalidArgument(
+          "cursor belongs to cube '" + decoded->cube +
+          "', but the query addresses '" + outcome.cube + "'"));
+    }
+    if (decoded->query_hash != query_hash) {
+      // A cursor resumes the stream that issued it; offsetting into a
+      // different statement's stream would silently return wrong rows.
+      return finish(Status::InvalidArgument(
+          "cursor was issued for a different query; resend the original "
+          "statement (the page size may change, the rest may not)"));
+    }
+    if (query.cube_version && *query.cube_version != decoded->version) {
+      return finish(Status::InvalidArgument(
+          "cursor pins version " + std::to_string(decoded->version) +
+          ", but the query pins @" + std::to_string(*query.cube_version)));
+    }
+    version = decoded->version;
+    snapshot = store_->GetVersion(outcome.cube, version);
+    if (snapshot == nullptr) {
+      return finish(Status::NotFound(
+          "cursor version " + std::to_string(version) + " of cube '" +
+          outcome.cube + "' is gone (evicted); restart the scan"));
+    }
+    query.offset = decoded->position;
+  } else if (query.cube_version) {
+    version = *query.cube_version;
+    snapshot = store_->GetVersion(outcome.cube, version);
+    if (snapshot == nullptr) {
+      return finish(Status::NotFound(
+          "no version " + std::to_string(version) + " of cube '" +
+          outcome.cube + "' (evicted or never published)"));
+    }
+  } else {
+    snapshot = store_->Get(outcome.cube, &version);
+    if (snapshot == nullptr) {
+      return finish(Status::NotFound("no cube published under '" +
+                                     outcome.cube + "'"));
+    }
+  }
+  outcome.cube_version = version;
+
+  // --- cache: hits replay through the sink, byte-identical to a live
+  // stream (cursor-resumed pages are never cached or served from cache).
+  if (cursor.empty()) {
+    if (auto cached = cache_.Get(outcome.cube, version, outcome.canonical)) {
+      outcome.cache_hit = true;
+      outcome.begun = true;
+      ResultTrailer trailer;
+      trailer.cells_scanned = cached->cells_scanned;
+      if (!cached->exhausted) {
+        trailer.next_cursor = EncodeCursor(Cursor{
+            outcome.cube, version, cached->next_offset, query_hash});
+      }
+      WallTimer timer;
+      // ReplayResult suppresses the cursor when the sink aborts
+      // mid-replay: a partial stream has no resume point, exactly as on
+      // the live path below.
+      bool aborted = false;
+      outcome.rows = ReplayResult(*cached, sink, &trailer, &aborted);
+      outcome.exec_ms = timer.Millis();
+      outcome.cells_scanned = cached->cells_scanned;
+      outcome.next_cursor = aborted ? "" : trailer.next_cursor;
+      return finish(Status::OK());
+    }
+  }
+
+  // --- execute on the caller's thread, streaming as the walks produce ----
+  const bool try_cache =
+      cursor.empty() && options_.cache_capacity > 0;
+  CachingTee tee(sink, options_.cache_max_rows);
+  RowSink& target = try_cache ? static_cast<RowSink&>(tee) : sink;
+
+  WallTimer timer;
+  Executor executor(*snapshot);
+  StreamStats stats;
+  Status status = executor.ExecuteToSink(query, context, target, &stats);
+  outcome.exec_ms = timer.Millis();
+  outcome.begun = stats.begun;
+  outcome.rows = stats.rows_emitted;
+  outcome.cells_scanned = stats.cells_scanned;
+
+  if (!status.ok()) {
+    // A stream that failed after Begin (deadline mid-walk) is still closed
+    // properly — the writer can terminate its output — but never gets a
+    // resume cursor and never enters the cache.
+    if (stats.begun) {
+      ResultTrailer trailer;
+      trailer.cells_scanned = stats.cells_scanned;
+      target.Finish(trailer);
+    }
+    return finish(std::move(status));
+  }
+
+  ResultTrailer trailer;
+  trailer.cells_scanned = stats.cells_scanned;
+  if (!stats.exhausted && !stats.aborted) {
+    trailer.next_cursor = EncodeCursor(
+        Cursor{outcome.cube, version, stats.next_offset, query_hash});
+  }
+  outcome.next_cursor = trailer.next_cursor;
+  target.Finish(trailer);
+
+  if (try_cache && !stats.aborted && tee.cacheable()) {
+    tee.collected().SetPagination(stats.exhausted, stats.next_offset);
+    cache_.Put(outcome.cube, version, outcome.canonical,
+               tee.collected().TakeResult());
+  }
+  return finish(Status::OK());
 }
 
 QueryService::PublishInfo QueryService::PublishAndWarm(

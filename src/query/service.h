@@ -38,6 +38,7 @@
 #include "query/context.h"
 #include "query/cube_store.h"
 #include "query/query_result.h"
+#include "query/row_sink.h"
 
 namespace scube {
 namespace query {
@@ -53,9 +54,12 @@ struct ServiceOptions {
   /// Cube name used when a query has no FROM clause.
   std::string default_cube = "default";
 
-  /// Admission bound: batches arriving while this many worker tasks are
-  /// already queued are shed with Unavailable. 0 sheds everything (useful
-  /// for drain tests); pick ~num_workers * expected batch latency budget.
+  /// Admission bound: work arriving while the backlog — queued worker
+  /// tasks plus in-flight streaming executions — is at this bound is shed
+  /// with Unavailable. Streams run on their caller's thread rather than
+  /// the queue, but each one pins a cube snapshot and burns CPU, so they
+  /// count toward the same bound. 0 sheds everything (useful for drain
+  /// tests); pick ~num_workers * expected batch latency budget.
   size_t max_pending = 256;
 
   /// Deadline applied to requests that carry none (milliseconds);
@@ -70,6 +74,12 @@ struct ServiceOptions {
   /// 1 = sequential, 0 = all hardware threads, N = at most N threads from
   /// the shared pool. The sealed view is identical for every setting.
   size_t seal_threads = 1;
+
+  /// Streamed answers above this many rows are not materialised into the
+  /// result cache — the streaming path's memory stays bounded no matter
+  /// how large the answer is. (Batch answers are materialised by nature
+  /// and cache regardless.)
+  size_t cache_max_rows = 10000;
 };
 
 /// \brief Monotonic serving counters (exported by scubed's /metrics).
@@ -89,6 +99,10 @@ struct QueryResponse {
 
   Status status;       ///< parse / resolution / execution outcome
   QueryResult result;  ///< valid iff status.ok()
+
+  /// Stream fingerprint (CursorQueryHash) embedded in resume cursors so a
+  /// cursor cannot be replayed against a different statement.
+  uint64_t query_hash = 0;
 
   bool cache_hit = false;
   double parse_ms = 0.0;
@@ -118,6 +132,47 @@ class QueryService {
   /// responses carry DeadlineExceeded.
   std::vector<QueryResponse> ExecuteBatch(
       const std::vector<std::string>& texts, const QueryContext& ctx = {});
+
+  /// \brief Outcome of one streamed execution (ExecuteStreaming).
+  struct StreamOutcome {
+    std::string text;       ///< the query as submitted
+    std::string canonical;  ///< normalised form (empty on parse errors)
+    std::string cube;       ///< resolved cube name
+    uint64_t cube_version = 0;
+
+    Status status;  ///< parse / resolution / execution outcome
+
+    /// The sink received Begin (and possibly rows) — bytes may already be
+    /// on the wire. False on errors caught before any output, which can
+    /// still be answered with a plain (non-streamed) error response.
+    bool begun = false;
+
+    bool cache_hit = false;
+    uint64_t rows = 0;           ///< rows delivered to the sink
+    uint64_t cells_scanned = 0;  ///< scan accounting (pushdown-bounded)
+
+    /// Resume token for the next page; empty when the stream is
+    /// exhausted (or the client aborted mid-stream).
+    std::string next_cursor;
+
+    double exec_ms = 0.0;
+  };
+
+  /// Streams one query's answer into `sink` on the caller's thread
+  /// (header -> rows -> trailer; the service calls sink.Finish). Shares
+  /// the batch path's contract: admission control (Unavailable when the
+  /// backlog is at the bound), the default deadline, the result cache —
+  /// hits replay the materialised result through the sink byte-identically
+  /// to a live stream; misses that stay under options().cache_max_rows
+  /// rows are materialised into the cache as they stream past.
+  ///
+  /// `cursor` resumes a previous page: it pins the exact name@version
+  /// snapshot the first page walked (NotFound once evicted) and overrides
+  /// the query's OFFSET with the saved position, so stitched pages equal
+  /// the unpaginated answer. Cursor-resumed requests bypass the cache.
+  StreamOutcome ExecuteStreaming(const std::string& text, RowSink& sink,
+                                 const QueryContext& ctx = {},
+                                 const std::string& cursor = "");
 
   /// \brief Outcome of a PublishAndWarm call.
   struct PublishInfo {
@@ -153,6 +208,16 @@ class QueryService {
  private:
   void WorkerLoop();
 
+  /// Admission check shared by the batch and streaming paths: OK to
+  /// proceed, or the Unavailable shed status. The backlog is queued
+  /// worker tasks plus in-flight streams; when admitting a stream, the
+  /// in-flight count is bumped under the same lock (released by the
+  /// stream's finish path).
+  Status AdmitOrShed(bool stream);
+
+  /// Applies the configured default deadline to contexts carrying none.
+  QueryContext WithDefaultDeadline(const QueryContext& ctx) const;
+
   CubeStore* store_;
   ServiceOptions options_;
   ResultCache cache_;
@@ -161,6 +226,10 @@ class QueryService {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> deadline_expired_{0};
   std::atomic<uint64_t> completed_{0};
+
+  /// Admitted ExecuteStreaming calls that have not finished; counts
+  /// toward the admission backlog alongside queue_.size().
+  std::atomic<uint64_t> streams_in_flight_{0};
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -61,6 +61,29 @@ std::string RenderPrometheus(const ServerMetrics& metrics,
   Counter(&out, "scubed_line_requests_total",
           metrics.line_requests.load(std::memory_order_relaxed),
           "Line-protocol queries handled");
+  Counter(&out, "scubed_streamed_requests_total",
+          metrics.streamed_requests.load(std::memory_order_relaxed),
+          "Chunked streaming responses begun (POST /query?stream=1)");
+  Counter(&out, "scubed_streamed_rows_total",
+          metrics.streamed_rows.load(std::memory_order_relaxed),
+          "Result rows streamed to clients");
+  Counter(&out, "scubed_streamed_bytes_total",
+          metrics.streamed_bytes.load(std::memory_order_relaxed),
+          "Wire bytes of streamed responses (including chunk framing)");
+  Counter(&out, "scubed_streamed_errors_total",
+          metrics.streamed_errors.load(std::memory_order_relaxed),
+          "Streamed responses that failed after the 200 head left "
+          "(error carried in the body tail)");
+  Gauge(&out, "scubed_streamed_buffer_peak_bytes",
+        static_cast<double>(
+            metrics.streamed_buffer_peak.load(std::memory_order_relaxed)),
+        "High-water mark of the streamed-response chunk buffer "
+        "(bounded by the flush threshold, flat in the result size)");
+  Gauge(&out, "scubed_buffered_body_peak_bytes",
+        static_cast<double>(
+            metrics.buffered_body_peak.load(std::memory_order_relaxed)),
+        "High-water mark of buffered response bodies (the whole "
+        "serialised answer)");
 
   query::ServiceStats stats = service.stats();
   Counter(&out, "scubed_queries_accepted_total", stats.accepted,

@@ -23,8 +23,35 @@ struct ServerMetrics {
   std::atomic<uint64_t> http_errors{0};       ///< 4xx/5xx responses
   std::atomic<uint64_t> line_requests{0};     ///< line-protocol queries
 
+  // Streaming read path (POST /query?stream=1).
+  std::atomic<uint64_t> streamed_requests{0};  ///< chunked responses begun
+  std::atomic<uint64_t> streamed_rows{0};      ///< rows streamed to clients
+  std::atomic<uint64_t> streamed_bytes{0};     ///< wire bytes incl. framing
+  std::atomic<uint64_t> streamed_errors{0};    ///< failed after the 200 head
+
+  /// High-water marks of per-response buffering, kept separate so the
+  /// streamed bound stays visible: the streamed gauge is the chunk buffer
+  /// (~flush threshold, flat in the result size), the buffered gauge is
+  /// the largest whole serialised body — the number the streaming path
+  /// exists to avoid.
+  std::atomic<uint64_t> streamed_buffer_peak{0};
+  std::atomic<uint64_t> buffered_body_peak{0};
+
   void Inc(std::atomic<uint64_t>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Add(std::atomic<uint64_t>& counter, uint64_t n) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Raises `gauge` to at least `value` (monotonic high-water mark).
+  void RaiseMax(std::atomic<uint64_t>& gauge, uint64_t value) {
+    uint64_t seen = gauge.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !gauge.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
   }
 };
 

@@ -1,6 +1,7 @@
 #include "server/router.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "common/string_util.h"
 
@@ -40,25 +41,34 @@ bool AllUnavailable(const std::vector<query::QueryResponse>& responses) {
   return true;
 }
 
-net::HttpResponse HandleQuery(const RouterContext& ctx,
-                              const net::HttpRequest& request) {
-  const std::string format = request.Param("format", "json");
-  if (format != "json" && format != "csv") {
-    return JsonError(400, "unknown format '" + format +
-                              "' (expected json or csv)");
+/// Validates the parameters shared by the buffered and streamed /query
+/// routes (?format=, ?deadline_ms=). Returns "" on success, else the
+/// error message for a 400.
+std::string ParseQueryParams(const net::HttpRequest& request,
+                             std::string* format,
+                             query::QueryContext* qctx) {
+  *format = request.Param("format", "json");
+  if (*format != "json" && *format != "csv") {
+    return "unknown format '" + *format + "' (expected json or csv)";
   }
-
-  query::QueryContext qctx;
   const std::string deadline = request.Param("deadline_ms");
   if (!deadline.empty()) {
     auto ms = ParseDouble(deadline);
     if (!ms.ok() || *ms <= 0) {
-      return JsonError(400, "bad deadline_ms '" + deadline +
-                                "' (must be a positive number of "
-                                "milliseconds)");
+      return "bad deadline_ms '" + deadline +
+             "' (must be a positive number of milliseconds)";
     }
-    qctx = query::QueryContext::WithTimeout(*ms);
+    *qctx = query::QueryContext::WithTimeout(*ms);
   }
+  return "";
+}
+
+net::HttpResponse HandleQuery(const RouterContext& ctx,
+                              const net::HttpRequest& request) {
+  std::string format;
+  query::QueryContext qctx;
+  std::string validation = ParseQueryParams(request, &format, &qctx);
+  if (!validation.empty()) return JsonError(400, validation);
 
   std::vector<std::string> statements = SplitStatements(request.body);
   if (statements.empty()) {
@@ -78,7 +88,9 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
 
   if (format == "csv") {
     net::HttpResponse resp;
-    resp.content_type = "text/csv";
+    resp.content_type = "text/csv; charset=utf-8";
+    resp.SetHeader("Content-Disposition",
+                   "attachment; filename=\"scube_query.csv\"");
     for (size_t i = 0; i < responses.size(); ++i) {
       const query::QueryResponse& r = responses[i];
       resp.body += "# query " + std::to_string(i) + ": " + r.text + " [" +
@@ -138,7 +150,173 @@ net::HttpResponse HandleMetrics(const RouterContext& ctx) {
   return resp;
 }
 
+/// HTTP status for an error caught before any streamed byte left.
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+      return 400;
+    default:
+      return 500;
+  }
+}
+
+/// Streams one answer over the chunked writer: the first chunk carries
+/// the HTTP head, an optional envelope prefix (JSON wraps the result in
+/// {"query":...,"result":; CSV streams bare) and the inner writer's
+/// header bytes, flushed eagerly so the client's time-to-first-byte does
+/// not wait for the first row. Rows and the trailer forward to the inner
+/// writer; the handler appends any envelope tail after the trailer.
+class StreamSink : public query::RowSink {
+ public:
+  StreamSink(net::ChunkedWriter* writer, net::HttpResponse head,
+             bool keep_alive, std::string prefix, bool csv)
+      : writer_(writer),
+        head_(std::move(head)),
+        keep_alive_(keep_alive),
+        prefix_(std::move(prefix)) {
+    auto emit = [writer](std::string_view data) {
+      return writer->Write(data).ok();
+    };
+    if (csv) {
+      inner_ = std::make_unique<query::CsvWriter>(emit);
+    } else {
+      inner_ = std::make_unique<query::JsonWriter>(emit);
+    }
+  }
+
+  bool Begin(const query::ResultHeader& header) override {
+    if (!writer_->WriteHead(head_, keep_alive_).ok()) return false;
+    if (!prefix_.empty() && !writer_->Write(prefix_).ok()) return false;
+    bool ok = inner_->Begin(header);
+    return writer_->Flush().ok() && ok;
+  }
+
+  bool Row(const query::ResultRow& row) override { return inner_->Row(row); }
+
+  void Finish(const query::ResultTrailer& trailer) override {
+    inner_->Finish(trailer);
+  }
+
+ private:
+  net::ChunkedWriter* writer_;
+  net::HttpResponse head_;
+  bool keep_alive_;
+  std::string prefix_;
+  std::unique_ptr<query::ResultWriter> inner_;
+};
+
 }  // namespace
+
+bool IsStreamingQuery(const net::HttpRequest& request) {
+  // POST only: HEAD (whose responses must carry no body bytes) and other
+  // methods take the buffered route, where the connection loop applies
+  // the usual method/HEAD handling.
+  return request.method == "POST" && request.path == "/query" &&
+         request.Param("stream") == "1";
+}
+
+bool HandleQueryStream(const RouterContext& ctx,
+                       const net::HttpRequest& request, bool keep_alive,
+                       const net::ChunkedWriter::WriteFn& write) {
+  auto buffered_error = [&](net::HttpResponse resp) {
+    resp.content_type = "application/json";
+    return write(net::SerializeResponse(resp, keep_alive)).ok();
+  };
+
+  // Method filtering happened at IsStreamingQuery: only POST reaches here
+  // (HEAD in particular must take the buffered route for body stripping).
+
+  std::string format;
+  query::QueryContext qctx;
+  std::string validation = ParseQueryParams(request, &format, &qctx);
+
+  std::vector<std::string> statements = SplitStatements(request.body);
+  if (validation.empty() && statements.size() != 1) {
+    validation = statements.empty()
+                     ? "empty query body (one SCubeQL statement)"
+                     : "stream=1 answers exactly one statement per request "
+                       "(got " +
+                           std::to_string(statements.size()) +
+                           "); batch statements through the buffered path";
+  }
+  if (!validation.empty()) {
+    if (ctx.metrics != nullptr) ctx.metrics->Inc(ctx.metrics->http_errors);
+    return buffered_error(JsonError(400, validation));
+  }
+
+  const std::string cursor = request.Param("cursor");
+
+  net::HttpResponse head;
+  if (format == "csv") {
+    head.content_type = "text/csv; charset=utf-8";
+    head.SetHeader("Content-Disposition",
+                   "attachment; filename=\"scube_query.csv\"");
+  }
+
+  net::ChunkedWriter writer(write);
+  const bool csv = format == "csv";
+  std::string prefix =
+      csv ? "" : "{\"query\":" + JsonQuote(statements[0]) + ",\"result\":";
+  StreamSink sink(&writer, head, keep_alive, std::move(prefix), csv);
+  query::QueryService::StreamOutcome outcome =
+      ctx.service->ExecuteStreaming(statements[0], sink, qctx, cursor);
+
+  if (!outcome.begun) {
+    // Nothing on the wire yet: answer as a plain buffered HTTP error.
+    int status = HttpStatusFor(outcome.status.code());
+    net::HttpResponse resp = JsonError(status, outcome.status.message());
+    if (status == 503) resp.SetHeader("Retry-After", "1");
+    if (ctx.metrics != nullptr) ctx.metrics->Inc(ctx.metrics->http_errors);
+    return buffered_error(std::move(resp));
+  }
+
+  // The stream is live (head already sent as 200): append the envelope
+  // tail and the terminal chunk. Post-Begin failures surface inside the
+  // body — the status line is long gone.
+  if (format == "json") {
+    std::string tail =
+        ",\"code\":" + JsonQuote(StatusCodeToString(outcome.status.code()));
+    if (!outcome.status.ok()) {
+      tail += ",\"message\":" + JsonQuote(outcome.status.message());
+    }
+    tail += ",\"cube\":" + JsonQuote(outcome.cube) +
+            ",\"version\":" + std::to_string(outcome.cube_version) +
+            ",\"cache_hit\":";
+    tail += outcome.cache_hit ? "true" : "false";
+    tail += ",\"rows\":" + std::to_string(outcome.rows) + "}\n";
+    writer.Write(tail);
+  } else if (!outcome.status.ok()) {
+    writer.Write("# code: " +
+                 std::string(StatusCodeToString(outcome.status.code())) +
+                 "\n# message: " + outcome.status.message() + "\n");
+  }
+  // Account the response before the terminal chunk leaves: a client that
+  // has seen the end of the stream must find it in /metrics (the terminal
+  // "0\r\n\r\n" is 5 wire bytes, added up front).
+  writer.Flush();
+  if (ctx.metrics != nullptr) {
+    ctx.metrics->Inc(ctx.metrics->streamed_requests);
+    if (!outcome.status.ok()) {
+      // The 200 head already left; the error rides in the body tail. It
+      // still counts as a failed response for monitoring.
+      ctx.metrics->Inc(ctx.metrics->streamed_errors);
+    }
+    ctx.metrics->Add(ctx.metrics->streamed_rows, outcome.rows);
+    ctx.metrics->Add(ctx.metrics->streamed_bytes,
+                     writer.bytes_written() + 5);
+    ctx.metrics->RaiseMax(ctx.metrics->streamed_buffer_peak,
+                          writer.peak_buffer_bytes());
+  }
+  writer.Finish();
+  return writer.ok();
+}
 
 std::string ResponseToJson(const query::QueryResponse& response) {
   std::string out = "{\"query\":" + JsonQuote(response.text) +

@@ -3,6 +3,12 @@
 //
 //   POST /query     execute a SCubeQL batch (one statement per body line);
 //                   ?format=json|csv, ?deadline_ms=N overrides the default
+//   POST /query?stream=1
+//                   stream ONE statement's answer with chunked transfer
+//                   encoding: rows leave as the index walks produce them,
+//                   O(1) response buffering. ?cursor=TOKEN resumes the
+//                   next page of a LIMIT'ed answer against the same
+//                   name@version snapshot.
 //   GET  /cubes     published cube names, versions and sizes
 //   GET  /healthz   liveness: {"status":"ok",...}
 //   GET  /metrics   Prometheus text exposition (see metrics.h)
@@ -32,8 +38,25 @@ struct RouterContext {
 
 /// Dispatches one parsed HTTP request to its handler. Never throws; any
 /// failure becomes a JSON error response with the appropriate status.
+/// (POST /query?stream=1 is not routed here — connection loops call
+/// HandleQueryStream so bytes can leave incrementally.)
 net::HttpResponse HandleHttpRequest(const RouterContext& ctx,
                                     const net::HttpRequest& request);
+
+/// True when `request` selects the streamed query path.
+bool IsStreamingQuery(const net::HttpRequest& request);
+
+/// Handles POST /query?stream=1: exactly one statement, answered over
+/// chunked transfer encoding through `write` (the raw connection write).
+/// The first chunk carries the envelope + result header metadata, rows
+/// stream as produced, and the trailing chunk carries cells_scanned, the
+/// resume cursor and the final status code. Errors caught before any byte
+/// left (parse, admission, unknown cube) are answered as plain buffered
+/// HTTP errors instead. Returns false when the transport failed and the
+/// connection must close.
+bool HandleQueryStream(const RouterContext& ctx,
+                       const net::HttpRequest& request, bool keep_alive,
+                       const net::ChunkedWriter::WriteFn& write);
 
 /// Executes one line-protocol query line; returns a single-line JSON
 /// answer (no trailing newline). Empty/comment lines return "".

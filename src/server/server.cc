@@ -150,21 +150,36 @@ void ScubedServer::ServeHttp(net::Socket* socket,
     net::HttpResponse response;
     bool keep_alive = false;
     bool head = false;
+    bool streamed = parsed.ok() && IsStreamingQuery(*parsed);
     if (!parsed.ok()) {
       response = net::HttpResponse(
           400, "{\"error\":" + JsonQuote(parsed.status().message()) + "}\n");
     } else {
       keep_alive = parsed->keep_alive && running();
       head = parsed->method == "HEAD";
-      response = HandleHttpRequest(router_, *parsed);
     }
     metrics_.Inc(metrics_.http_requests);
-    if (response.status >= 400) metrics_.Inc(metrics_.http_errors);
-    std::string wire = net::SerializeResponse(response, keep_alive);
-    // HEAD: same headers as GET (including the true Content-Length),
-    // no body bytes.
-    if (head) wire.resize(wire.size() - response.body.size());
-    if (!socket->WriteAll(wire).ok()) return;
+    if (streamed) {
+      // Streamed answers write incrementally — chunked transfer encoding
+      // straight onto the socket, no response buffer. The handler owns
+      // error rendering and metrics; a false return means the transport
+      // died mid-stream and the connection must close.
+      bool alive = HandleQueryStream(
+          router_, *parsed, keep_alive,
+          [socket](std::string_view data) { return socket->WriteAll(data); });
+      if (!alive) return;
+    } else {
+      if (parsed.ok()) response = HandleHttpRequest(router_, *parsed);
+      if (response.status >= 400) metrics_.Inc(metrics_.http_errors);
+      // Buffered responses hold the whole serialised body — the number
+      // the streamed path keeps flat (compare the two peaks in /metrics).
+      metrics_.RaiseMax(metrics_.buffered_body_peak, response.body.size());
+      std::string wire = net::SerializeResponse(response, keep_alive);
+      // HEAD: same headers as GET (including the true Content-Length),
+      // no body bytes.
+      if (head) wire.resize(wire.size() - response.body.size());
+      if (!socket->WriteAll(wire).ok()) return;
+    }
     if (!keep_alive) return;
 
     auto next = NextLine(reader);

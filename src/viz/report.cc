@@ -180,6 +180,10 @@ std::string RenderQueryResult(const query::QueryResult& result) {
     for (size_t c = 0; c < line.size(); ++c) out += Pad(line[c], widths[c]);
     out += "\n";
   }
+  if (!result.next_cursor.empty()) {
+    out += "(more rows beyond LIMIT; resume with cursor " +
+           result.next_cursor + ")\n";
+  }
   return out;
 }
 

@@ -91,6 +91,45 @@ TEST(JsonEscapeTest, Utf8SurvivesVerbatim) {
   EXPECT_EQ(JsonEscape("北京"), "北京");
 }
 
+TEST(ParseHexU64Test, ParsesAndRejects) {
+  EXPECT_EQ(ParseHexU64("0").value(), 0u);
+  EXPECT_EQ(ParseHexU64("ff").value(), 255u);
+  EXPECT_EQ(ParseHexU64("DEADbeef").value(), 0xdeadbeefu);
+  EXPECT_EQ(ParseHexU64("ffffffffffffffff").value(), UINT64_MAX);
+  EXPECT_FALSE(ParseHexU64("").ok());
+  EXPECT_FALSE(ParseHexU64("0x10").ok());
+  EXPECT_FALSE(ParseHexU64("zz").ok());
+  EXPECT_FALSE(ParseHexU64("10000000000000000").ok());  // 2^64: overflow
+}
+
+TEST(Base64Test, EncodesKnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, RoundTripsBinary) {
+  std::string all;
+  for (int i = 0; i < 256; ++i) all += static_cast<char>(i);
+  auto decoded = Base64Decode(Base64Encode(all));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, all);
+}
+
+TEST(Base64Test, RejectsMalformedInput) {
+  EXPECT_FALSE(Base64Decode("abc").ok());     // not a multiple of 4
+  EXPECT_FALSE(Base64Decode("ab!=").ok());    // invalid character
+  EXPECT_FALSE(Base64Decode("=abc").ok());    // padding up front
+  EXPECT_FALSE(Base64Decode("a=bc").ok());    // data after padding
+  EXPECT_FALSE(Base64Decode("ab==cdef").ok());  // padding mid-stream
+  EXPECT_TRUE(Base64Decode("").ok());
+}
+
 TEST(FormatTest, DoubleAndCommas) {
   EXPECT_EQ(FormatDouble(0.78125, 2), "0.78");
   EXPECT_EQ(FormatDouble(1.0, 3), "1.000");

@@ -153,6 +153,150 @@ TEST(HttpRoundTripTest, ClientParsesServerResponse) {
   EXPECT_EQ(parsed->body, "{\"error\":\"full\"}\n");
 }
 
+TEST(ChunkedWriterTest, FramesHeadChunksAndTerminator) {
+  std::string wire;
+  ChunkedWriter writer(
+      [&wire](std::string_view data) {
+        wire.append(data);
+        return Status::OK();
+      },
+      /*flush_bytes=*/1024);
+  HttpResponse head;
+  head.content_type = "application/json";
+  ASSERT_TRUE(writer.WriteHead(head, /*keep_alive=*/true).ok());
+  // Chunked head: Transfer-Encoding, never Content-Length.
+  EXPECT_NE(wire.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+
+  ASSERT_TRUE(writer.Write("hello ").ok());
+  ASSERT_TRUE(writer.Write("world").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  // One coalesced chunk ("hello world" = 0xb bytes) plus the terminator.
+  EXPECT_NE(wire.find("\r\n\r\nb\r\nhello world\r\n0\r\n\r\n"),
+            std::string::npos)
+      << wire;
+  EXPECT_EQ(writer.bytes_written(), wire.size());
+}
+
+TEST(ChunkedWriterTest, FlushesAtThresholdKeepingBufferBounded) {
+  std::string wire;
+  size_t flush_bytes = 64;
+  ChunkedWriter writer(
+      [&wire](std::string_view data) {
+        wire.append(data);
+        return Status::OK();
+      },
+      flush_bytes);
+  HttpResponse head;
+  ASSERT_TRUE(writer.WriteHead(head, true).ok());
+  // Stream far more payload than the flush threshold: the peak buffer
+  // must stay near the threshold, not grow with the body.
+  std::string piece(10, 'x');
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(writer.Write(piece).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_LT(writer.peak_buffer_bytes(), flush_bytes + piece.size());
+  EXPECT_NE(wire.find("0\r\n\r\n"), std::string::npos);
+}
+
+TEST(ChunkedWriterTest, LatchesTransportFailure) {
+  int writes = 0;
+  ChunkedWriter writer([&writes](std::string_view) {
+    ++writes;
+    return Status::IoError("peer gone");
+  });
+  HttpResponse head;
+  EXPECT_FALSE(writer.WriteHead(head, true).ok());
+  EXPECT_FALSE(writer.Write("data").ok());
+  EXPECT_FALSE(writer.Finish().ok());
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(writes, 1);  // one failed write; the rest short-circuit
+}
+
+TEST(ChunkedClientTest, DecodesChunkedResponseWithTrailers) {
+  Pair pair;
+  ASSERT_TRUE(pair.feeder
+                  .WriteAll("HTTP/1.1 200 OK\r\n"
+                            "Content-Type: application/json\r\n"
+                            "Transfer-Encoding: chunked\r\n"
+                            "\r\n"
+                            "6\r\nhello \r\n"
+                            "b;ext=1\r\nchunked wor\r\n"
+                            "2\r\nld\r\n"
+                            "0\r\n"
+                            "X-Trailer: yes\r\n"
+                            "Content-Type: text/evil\r\n"
+                            "\r\n")
+                  .ok());
+  BufferedReader reader(&pair.reader_socket);
+  auto parsed = ReadHttpResponse(&reader);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->body, "hello chunked world");
+  EXPECT_EQ(parsed->headers.at("x-trailer"), "yes");
+  // Trailers must not clobber headers from the real header section.
+  EXPECT_EQ(parsed->headers.at("content-type"), "application/json");
+}
+
+TEST(ChunkedClientTest, KeepAliveSurvivesChunkedMessageBoundary) {
+  // Two responses back-to-back on one connection: a chunked one, then a
+  // Content-Length one. The decoder must stop exactly at the terminal
+  // chunk's blank line, leaving the second message intact.
+  Pair pair;
+  std::string wire;
+  ChunkedWriter writer([&wire](std::string_view data) {
+    wire.append(data);
+    return Status::OK();
+  });
+  HttpResponse head;
+  ASSERT_TRUE(writer.WriteHead(head, /*keep_alive=*/true).ok());
+  ASSERT_TRUE(writer.Write("first streamed body").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  wire += SerializeResponse(HttpResponse(200, "second body"),
+                            /*keep_alive=*/true);
+  ASSERT_TRUE(pair.feeder.WriteAll(wire).ok());
+
+  BufferedReader reader(&pair.reader_socket);
+  auto first = ReadHttpResponse(&reader);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->body, "first streamed body");
+  auto second = ReadHttpResponse(&reader);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->body, "second body");
+}
+
+TEST(ChunkedClientTest, RejectsMalformedChunkSizes) {
+  Pair pair;
+  ASSERT_TRUE(pair.feeder
+                  .WriteAll("HTTP/1.1 200 OK\r\n"
+                            "Transfer-Encoding: chunked\r\n"
+                            "\r\n"
+                            "zz\r\nbody\r\n0\r\n\r\n")
+                  .ok());
+  BufferedReader reader(&pair.reader_socket);
+  EXPECT_FALSE(ReadHttpResponse(&reader).ok());
+}
+
+TEST(ChunkedClientTest, RejectsOverflowingAndOversizedChunkSizes) {
+  // 2^64 wraps size_t to 0 — which must NOT read as the terminal chunk.
+  for (const char* size_line : {"10000000000000000", "ffffffffffffffff",
+                                "fffffff0"}) {
+    Pair pair;
+    ASSERT_TRUE(pair.feeder
+                    .WriteAll(std::string("HTTP/1.1 200 OK\r\n"
+                                          "Transfer-Encoding: chunked\r\n"
+                                          "\r\n") +
+                              size_line + "\r\npayload\r\n0\r\n\r\n")
+                    .ok());
+    BufferedReader reader(&pair.reader_socket);
+    auto resp = ReadHttpResponse(&reader);
+    ASSERT_FALSE(resp.ok()) << size_line;
+    EXPECT_NE(resp.status().message().find("chunk size too large"),
+              std::string::npos)
+        << size_line;
+  }
+}
+
 TEST(BufferedReaderTest, SplitsLinesAcrossReads) {
   Pair pair;
   ASSERT_TRUE(pair.feeder.WriteAll("line one\r\nline two\nline three").ok());

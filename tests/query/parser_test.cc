@@ -95,6 +95,27 @@ TEST(ParserTest, FromVersionPin) {
   EXPECT_FALSE(latest == q);
 }
 
+TEST(ParserTest, LimitOffsetPagination) {
+  Query q = MustParse("DICE sa=sex=F LIMIT 10 OFFSET 20");
+  ASSERT_TRUE(q.limit.has_value());
+  EXPECT_EQ(*q.limit, 10u);
+  ASSERT_TRUE(q.offset.has_value());
+  EXPECT_EQ(*q.offset, 20u);
+  EXPECT_EQ(Canonical(q), "DICE sa=sex=F LIMIT 10 OFFSET 20");
+
+  // OFFSET stands alone too (skip a prefix, unbounded tail).
+  Query skip = MustParse("SLICE sa=sex=F OFFSET 5");
+  EXPECT_FALSE(skip.limit.has_value());
+  ASSERT_TRUE(skip.offset.has_value());
+  EXPECT_EQ(*skip.offset, 5u);
+
+  // An unset OFFSET is not the same query as OFFSET 0 (distinct canonical
+  // forms), and a bare LIMIT parses as before.
+  Query plain = MustParse("DICE sa=sex=F LIMIT 10");
+  EXPECT_FALSE(plain.offset.has_value());
+  EXPECT_FALSE(plain == q);
+}
+
 TEST(ParserTest, DuplicateConstraintsDeduplicated) {
   Query q = MustParse("DICE sa=sex=F & sex=F");
   EXPECT_EQ(q.sa.size(), 1u);
@@ -107,6 +128,8 @@ TEST(ParserTest, CanonicalRoundTrip) {
       "SLICE sa=sex=F & age=young | ca=region=north",
       "slice ca=region=south",
       "DICE sa=age=young LIMIT 3",
+      "DICE sa=age=young LIMIT 3 OFFSET 6",
+      "SLICE sa=sex=F OFFSET 2",
       "ROLLUP sa=sex=F | ca=region=north FROM cube_b",
       "DRILLDOWN",
       "SURPRISES BY isolation MINDELTA 0.2 ORDER BY M DESC",
@@ -154,6 +177,9 @@ TEST(ParserTest, ErrorsCarryColumnAndContext) {
       {"TOPK 5 BY gini WHERE T >= -1", "non-negative integer"},
       {"TOPK -5 BY gini", "non-negative integer"},
       {"TOPK 5 BY gini LIMIT -1", "non-negative integer"},
+      {"TOPK 5 BY gini LIMIT 0", "LIMIT must be positive"},
+      {"TOPK 5 BY gini OFFSET -2", "non-negative integer"},
+      {"TOPK 5 BY gini OFFSET", "expected an integer for OFFSET"},
       {"TOPK 5 BY gini WHERE units >= 3", "WHERE supports T >="},
       {"TOPK 5 BY gini ORDER BY size", "unknown ORDER BY key"},
       {"DICE ca=sector='real estate", "unterminated quoted value"},

@@ -81,6 +81,153 @@ struct Fixture {
   }
 };
 
+TEST(ScubedTest, StreamingRouteIsPostOnly) {
+  // HEAD/GET must take the buffered route: the connection loop strips
+  // HEAD bodies there, which the chunked path cannot do.
+  net::HttpRequest req;
+  req.path = "/query";
+  req.params["stream"] = "1";
+  req.method = "POST";
+  EXPECT_TRUE(IsStreamingQuery(req));
+  req.method = "HEAD";
+  EXPECT_FALSE(IsStreamingQuery(req));
+  req.method = "GET";
+  EXPECT_FALSE(IsStreamingQuery(req));
+}
+
+TEST(ScubedTest, StreamedQueryIsChunkedAndMatchesBufferedRows) {
+  Fixture fx;
+  // Buffered answer first (and it seeds the cache for the streamed one —
+  // cached replays must be byte-compatible with live streams).
+  auto buffered = fx.Call("POST", "/query", "SLICE sa=sex=F");
+  ASSERT_TRUE(buffered.ok()) << buffered.status();
+  ASSERT_EQ(buffered->status, 200);
+
+  auto streamed = fx.Call("POST", "/query?stream=1", "SLICE sa=sex=F");
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  EXPECT_EQ(streamed->status, 200);
+  // Streamed responses are chunked, never Content-Length framed.
+  EXPECT_EQ(streamed->headers.at("transfer-encoding"), "chunked");
+  EXPECT_EQ(streamed->headers.count("content-length"), 0u);
+  // Envelope: query echo, the result object, the trailing status code.
+  EXPECT_NE(streamed->body.find("\"query\":\"SLICE sa=sex=F\""),
+            std::string::npos)
+      << streamed->body;
+  EXPECT_NE(streamed->body.find("\"code\":\"OK\""), std::string::npos);
+  EXPECT_NE(streamed->body.find("\"rows\":3"), std::string::npos);
+  // The same three cells as the buffered path.
+  for (const char* label : {"\"T\":100", "\"T\":60", "\"T\":40"}) {
+    EXPECT_NE(streamed->body.find(label), std::string::npos) << label;
+    EXPECT_NE(buffered->body.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(ScubedTest, StreamedCursorPaginationOverHttp) {
+  Fixture fx;
+  auto page1 = fx.Call("POST", "/query?stream=1", "SLICE sa=sex=F LIMIT 2");
+  ASSERT_TRUE(page1.ok()) << page1.status();
+  ASSERT_EQ(page1->status, 200);
+  // The trailing chunk carries the resume cursor.
+  size_t at = page1->body.find("\"next_cursor\":\"");
+  ASSERT_NE(at, std::string::npos) << page1->body;
+  at += std::string("\"next_cursor\":\"").size();
+  std::string cursor = page1->body.substr(at, page1->body.find('"', at) - at);
+  ASSERT_FALSE(cursor.empty());
+
+  auto page2 = fx.Call("POST", "/query?stream=1&cursor=" + cursor,
+                       "SLICE sa=sex=F LIMIT 2");
+  ASSERT_TRUE(page2.ok()) << page2.status();
+  EXPECT_EQ(page2->status, 200);
+  // Page 1 held T=100 and T=60; page 2 holds the remaining T=40 cell and
+  // is exhausted (no further cursor).
+  EXPECT_NE(page2->body.find("\"T\":40"), std::string::npos) << page2->body;
+  EXPECT_EQ(page2->body.find("\"next_cursor\""), std::string::npos)
+      << page2->body;
+  EXPECT_NE(page2->body.find("\"rows\":1"), std::string::npos);
+}
+
+TEST(ScubedTest, StreamedCsvDownloadHeadersAndCursorComment) {
+  Fixture fx;
+  auto resp = fx.Call("POST", "/query?stream=1&format=csv",
+                      "SLICE sa=sex=F LIMIT 1");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->headers.at("content-type"), "text/csv; charset=utf-8");
+  EXPECT_EQ(resp->headers.at("content-disposition"),
+            "attachment; filename=\"scube_query.csv\"");
+  EXPECT_EQ(resp->headers.at("transfer-encoding"), "chunked");
+  EXPECT_NE(resp->body.find("sa,ca,T,M,units"), std::string::npos);
+  EXPECT_NE(resp->body.find("# next_cursor: "), std::string::npos)
+      << resp->body;
+}
+
+TEST(ScubedTest, StreamedKeepAliveServesFollowUpRequests) {
+  Fixture fx;
+  auto connected = net::Connect("127.0.0.1", fx.server.port());
+  ASSERT_TRUE(connected.ok());
+  net::Socket socket = std::move(connected).value();
+  net::BufferedReader reader(&socket);
+  // Streamed request, then a buffered one on the same connection: the
+  // chunked terminator must leave the stream at a clean message boundary.
+  auto first = net::RoundTrip(&socket, &reader, "POST", "/query?stream=1",
+                              "SLICE sa=sex=F");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->status, 200);
+  auto second = net::RoundTrip(&socket, &reader, "GET", "/healthz");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->status, 200);
+  EXPECT_NE(second->body.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ScubedTest, StreamedErrorsBeforeFirstByteAreBuffered) {
+  Fixture fx;
+  // Parse error: plain 400, not a chunked stream.
+  auto bad = fx.Call("POST", "/query?stream=1", "FROBNICATE");
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_EQ(bad->headers.count("transfer-encoding"), 0u);
+
+  // Unknown cube: 404.
+  auto missing = fx.Call("POST", "/query?stream=1",
+                         "TOPK 1 BY gini FROM nowhere");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  // Multi-statement bodies are a buffered-path feature.
+  auto multi = fx.Call("POST", "/query?stream=1",
+                       "SLICE sa=sex=F\nSLICE sa=sex=F\n");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->status, 400);
+  EXPECT_NE(multi->body.find("exactly one statement"), std::string::npos);
+
+  // Bad cursors are rejected up front.
+  auto garbage = fx.Call("POST", "/query?stream=1&cursor=garbage!",
+                         "SLICE sa=sex=F");
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_EQ(garbage->status, 400);
+}
+
+TEST(ScubedTest, MetricsExposeStreamingCounters) {
+  Fixture fx;
+  auto streamed = fx.Call("POST", "/query?stream=1", "SLICE sa=sex=F");
+  ASSERT_TRUE(streamed.ok());
+  auto metrics = fx.Call("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("scubed_streamed_requests_total 1"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(metrics->body.find("scubed_streamed_rows_total 3"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("scubed_streamed_bytes_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("scubed_streamed_errors_total 0"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("scubed_streamed_buffer_peak_bytes"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("scubed_buffered_body_peak_bytes"),
+            std::string::npos);
+}
+
 TEST(ScubedTest, HealthzAnswers) {
   Fixture fx;
   auto resp = fx.Call("GET", "/healthz");
@@ -110,7 +257,10 @@ TEST(ScubedTest, BatchAndCsvFormat) {
                       "TOPK 1 BY dissimilarity WHERE M >= 1\n");
   ASSERT_TRUE(resp.ok()) << resp.status();
   EXPECT_EQ(resp->status, 200);
-  EXPECT_EQ(resp->headers.at("content-type"), "text/csv");
+  EXPECT_EQ(resp->headers.at("content-type"), "text/csv; charset=utf-8");
+  // A browser hitting format=csv should get a download, not a page.
+  EXPECT_EQ(resp->headers.at("content-disposition"),
+            "attachment; filename=\"scube_query.csv\"");
   EXPECT_NE(resp->body.find("# query 0:"), std::string::npos) << resp->body;
   EXPECT_NE(resp->body.find("# query 1:"), std::string::npos) << resp->body;
   EXPECT_NE(resp->body.find("sa,ca,T,M,units"), std::string::npos);
