@@ -33,6 +33,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "cube/builder.h"
 #include "cube/cube_view.h"
 #include "datagen/scenarios.h"
@@ -164,11 +165,16 @@ int main(int argc, char** argv) {
   std::vector<PhaseTimes> best(thread_counts.size());
   size_t cells = 0;
   std::string reference_csv;
+  // The sequential first rep doubles as the phase-trace sample: the same
+  // build.mine/build.group/build.fill/build.seal span names scubed's
+  // PublishAndWarm logs, so bench and server numbers line up by name.
+  trace::TraceContext phase_trace;
   for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
     size_t threads = thread_counts[ti];
     opts.num_threads = threads;
     PhaseTimes bt;
     for (int rep = 0; rep < reps; ++rep) {
+      opts.trace = (ti == 0 && rep == 0) ? &phase_trace : nullptr;
       cube::CubeBuildStats stats;
       auto built = cube::BuildSegregationCube(*encoded, opts, &stats);
       if (!built.ok()) {
@@ -190,7 +196,9 @@ int main(int argc, char** argv) {
         }
       }
       WallTimer seal_timer;
+      trace::Span seal_span(opts.trace, "build.seal");
       cube::CubeView view = std::move(*built).Seal(threads);
+      seal_span.End();
       double seal_secs = seal_timer.Seconds();
       if (view.NumCells() != cells) {
         std::fprintf(stderr, "seal lost cells\n");
@@ -231,6 +239,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\ndeterminism: all thread counts produced the identical "
               "cube (%zu cells)\n", cells);
+  std::printf("phase trace (sequential rep): %s\n",
+              phase_trace.Summary().c_str());
 
   if (write_json) {
     std::ofstream out("BENCH_cube_build.json");

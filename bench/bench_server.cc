@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "datagen/scenarios.h"
 #include "net/http.h"
 #include "net/socket.h"
@@ -50,7 +51,6 @@ struct LoadResult {
   uint64_t shed = 0;      ///< HTTP 503
   uint64_t expired = 0;   ///< body contained a DeadlineExceeded code
   uint64_t errors = 0;    ///< transport or unexpected status
-  std::vector<double> latencies_ms;  ///< of HTTP-200 responses
   double seconds = 0;
 
   double Qps() const {
@@ -61,18 +61,8 @@ struct LoadResult {
     shed += other.shed;
     expired += other.expired;
     errors += other.errors;
-    latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
-                        other.latencies_ms.end());
   }
 };
-
-double Percentile(std::vector<double>* values, double p) {
-  if (values->empty()) return 0;
-  std::sort(values->begin(), values->end());
-  size_t idx = static_cast<size_t>(p * static_cast<double>(values->size()));
-  if (idx >= values->size()) idx = values->size() - 1;
-  return (*values)[idx];
-}
 
 const std::vector<std::string>& QueryMix() {
   static const std::vector<std::string> mix = {
@@ -103,8 +93,12 @@ std::string CacheBustQuery(size_t n) {
 
 /// One client worker: issues requests until the deadline; `pace_s` > 0
 /// turns the closed loop into an open loop with that inter-send gap.
+/// HTTP-200 latencies land in `hist` — the same atomic-bucket histogram
+/// the server exports, shared across all clients of a phase (LoadResult
+/// is merged by value; an atomic histogram cannot ride in it).
 LoadResult RunClient(uint16_t port, double seconds, double pace_s,
-                     size_t offset, bool cache_bust) {
+                     size_t offset, bool cache_bust,
+                     trace::LatencyHistogram* hist) {
   LoadResult out;
   auto connected = net::Connect("127.0.0.1", port);
   if (!connected.ok()) {
@@ -146,7 +140,7 @@ LoadResult RunClient(uint16_t port, double seconds, double pace_s,
     }
     if (resp->status == 200) {
       ++out.ok;
-      out.latencies_ms.push_back(latency.Millis());
+      hist->Observe(latency.Millis());
       if (resp->body.find("\"DeadlineExceeded\"") != std::string::npos) {
         ++out.expired;
       }
@@ -161,7 +155,8 @@ LoadResult RunClient(uint16_t port, double seconds, double pace_s,
 }
 
 LoadResult RunLoad(uint16_t port, size_t clients, double seconds,
-                   double offered_qps, bool cache_bust = false) {
+                   double offered_qps, trace::LatencyHistogram* hist,
+                   bool cache_bust = false) {
   std::vector<LoadResult> results(clients);
   std::vector<std::thread> threads;
   double pace_s =
@@ -169,7 +164,7 @@ LoadResult RunLoad(uint16_t port, size_t clients, double seconds,
   WallTimer timer;
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      results[c] = RunClient(port, seconds, pace_s, c, cache_bust);
+      results[c] = RunClient(port, seconds, pace_s, c, cache_bust, hist);
     });
   }
   for (auto& t : threads) t.join();
@@ -371,14 +366,14 @@ int main(int argc, char** argv) {
   // --- phase 1: closed loop (hot mix, then cache-busting capacity probe) --
   std::printf("[closed loop, hot mix] %zu clients, %.1f s\n", clients,
               seconds);
-  LoadResult hot = RunLoad(server.port(), clients, seconds, 0);
+  trace::LatencyHistogram hot_hist;
+  LoadResult hot = RunLoad(server.port(), clients, seconds, 0, &hot_hist);
   std::printf("  %llu ok, %llu shed, %llu errors | %.0f qps | "
               "p50 %.2f ms, p99 %.2f ms (cache-served)\n",
               static_cast<unsigned long long>(hot.ok),
               static_cast<unsigned long long>(hot.shed),
               static_cast<unsigned long long>(hot.errors), hot.Qps(),
-              Percentile(&hot.latencies_ms, 0.50),
-              Percentile(&hot.latencies_ms, 0.99));
+              hot_hist.Quantile(0.50), hot_hist.Quantile(0.99));
 
   // The capacity probe must *saturate* the workers, not measure one
   // connection's round-trip latency: enough concurrent closed-loop
@@ -386,30 +381,31 @@ int main(int argc, char** argv) {
   size_t probe_clients = clients * 8;
   std::printf("[closed loop, cache-busting] %zu clients, %.1f s\n",
               probe_clients, seconds);
+  trace::LatencyHistogram closed_hist;
   LoadResult closed = RunLoad(server.port(), probe_clients, seconds, 0,
-                              /*cache_bust=*/true);
+                              &closed_hist, /*cache_bust=*/true);
   double capacity = closed.Qps();
   std::printf("  %llu ok, %llu shed, %llu errors | %.0f qps sustained | "
               "p50 %.2f ms, p99 %.2f ms (executed)\n\n",
               static_cast<unsigned long long>(closed.ok),
               static_cast<unsigned long long>(closed.shed),
               static_cast<unsigned long long>(closed.errors), capacity,
-              Percentile(&closed.latencies_ms, 0.50),
-              Percentile(&closed.latencies_ms, 0.99));
+              closed_hist.Quantile(0.50), closed_hist.Quantile(0.99));
 
   // --- phase 2: open loop at 2x capacity ----------------------------------
   double offered = 2.0 * capacity;
   size_t open_clients = clients * 16;  // enough senders to hold the rate
   std::printf("[open loop] offering %.0f qps (2x sustained capacity), "
               "%zu senders, %.1f s\n", offered, open_clients, seconds);
+  trace::LatencyHistogram open_hist;
   LoadResult open = RunLoad(server.port(), open_clients, seconds, offered,
-                            /*cache_bust=*/true);
+                            &open_hist, /*cache_bust=*/true);
   uint64_t answered = open.ok + open.shed;
   double shed_rate = answered == 0
                          ? 0.0
                          : static_cast<double>(open.shed) /
                                static_cast<double>(answered);
-  double open_p99 = Percentile(&open.latencies_ms, 0.99);
+  double open_p99 = open_hist.Quantile(0.99);
   std::printf("  %llu ok, %llu shed (%.0f%%), %llu deadline-expired, "
               "%llu errors\n",
               static_cast<unsigned long long>(open.ok),
@@ -433,8 +429,9 @@ int main(int argc, char** argv) {
     publish_info = service.PublishAndWarm("default", std::move(cube_v2));
     publish_done.store(true);
   });
+  trace::LatencyHistogram publish_hist;
   LoadResult publish_load =
-      RunLoad(server.port(), clients, seconds, capacity * 0.8);
+      RunLoad(server.port(), clients, seconds, capacity * 0.8, &publish_hist);
   publisher.join();
   auto after_stats = service.cache_stats();
   query::ResultCache::Stats window;
@@ -536,23 +533,38 @@ int main(int argc, char** argv) {
   {
     std::FILE* json = std::fopen("BENCH_server.json", "w");
     if (json != nullptr) {
+      // Per-phase latency quantiles, all read from the same fixed-bucket
+      // histogram the server exports on /metrics (interpolated, not exact
+      // order statistics — consistent with what an operator would compute
+      // from the scraped buckets).
+      auto quantiles = [](const trace::LatencyHistogram& h) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f",
+                      h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99));
+        return std::string(buf);
+      };
       std::fprintf(json, "{\n");
       std::fprintf(json,
-                   "  \"closed_loop\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
-                   "\"p99_ms\": %.3f, \"ok\": %llu, \"errors\": %llu},\n",
-                   capacity, Percentile(&closed.latencies_ms, 0.50),
-                   Percentile(&closed.latencies_ms, 0.99),
+                   "  \"hot_loop\": {\"qps\": %.1f, %s, \"ok\": %llu},\n",
+                   hot.Qps(), quantiles(hot_hist).c_str(),
+                   static_cast<unsigned long long>(hot.ok));
+      std::fprintf(json,
+                   "  \"closed_loop\": {\"qps\": %.1f, %s, "
+                   "\"ok\": %llu, \"errors\": %llu},\n",
+                   capacity, quantiles(closed_hist).c_str(),
                    static_cast<unsigned long long>(closed.ok),
                    static_cast<unsigned long long>(closed.errors));
       std::fprintf(json,
                    "  \"open_loop_2x\": {\"offered_qps\": %.1f, "
-                   "\"shed_rate\": %.4f, \"accepted_p99_ms\": %.3f},\n",
-                   offered, shed_rate, open_p99);
+                   "\"shed_rate\": %.4f, \"accepted\": {%s}},\n",
+                   offered, shed_rate, quantiles(open_hist).c_str());
       std::fprintf(json,
                    "  \"publish_under_load\": {\"version\": %llu, "
-                   "\"warmed\": %zu, \"window_hit_rate\": %.4f},\n",
+                   "\"warmed\": %zu, \"window_hit_rate\": %.4f, %s},\n",
                    static_cast<unsigned long long>(publish_info.version),
-                   publish_info.warmed, 100 * HitRate(window) / 100.0);
+                   publish_info.warmed, 100 * HitRate(window) / 100.0,
+                   quantiles(publish_hist).c_str());
       std::fprintf(json, "  \"streaming\": {\n");
       std::fprintf(json, "    \"rows\": %zu,\n", rows);
       std::fprintf(json,

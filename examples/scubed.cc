@@ -18,11 +18,17 @@
 //   --scale S         demo scenario scale (default 0.002)
 //   --threads N       cube build + publish-seal threads (1 = sequential,
 //                     0 = all hardware threads; default 1)
+//   --slow-query-ms D log requests slower than D ms as one JSON line with
+//                     their span tree (default 0 = off)
+//   --trace           trace every request (spans cost a few clock reads;
+//                     without this, only ?debug=trace requests and — when
+//                     enabled — slow-query-log candidates are traced)
 //   --demo            build + publish the demo cubes before serving
 //
 // Talk to it:
 //   curl localhost:8080/healthz
 //   curl -X POST localhost:8080/query --data 'TOPK 5 BY dissimilarity WHERE T >= 30'
+//   curl -X POST 'localhost:8080/query?debug=trace' --data 'TOPK 5 BY gini'
 //   curl -X POST 'localhost:8080/query?format=csv' --data 'SLICE sa=gender=F'
 //   curl localhost:8080/metrics
 //   printf 'TOPK 3 BY gini\nQUIT\n' | nc localhost 8080     (line protocol)
@@ -148,6 +154,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       build_threads = static_cast<size_t>(std::atol(next("--threads")));
       service_options.seal_threads = build_threads;
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0) {
+      server_options.slow_query_ms = std::atof(next("--slow-query-ms"));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      server_options.trace_all = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {

@@ -17,6 +17,15 @@ LogLevel GetLogLevel();
 /// Silences all output (used by tests and benchmarks).
 void SetLogQuiet(bool quiet);
 
+/// Wall-clock timestamp with millisecond precision, UTC:
+/// "2026-08-08T14:03:21.042Z". Shared by log lines and the slow-query
+/// log's JSON records.
+std::string FormatWallTimestampMillis();
+
+/// Small sequential id of the calling thread (1, 2, 3, … in first-log
+/// order) — readable request interleaving without 16-digit pthread ids.
+int CurrentThreadLogId();
+
 namespace internal {
 
 /// Stream-style log statement collector; emits on destruction.

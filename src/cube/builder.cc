@@ -147,6 +147,7 @@ Result<SegregationCube> BuildSegregationCube(
 
   // --- Mining -------------------------------------------------------------
   WallTimer timer;
+  trace::Span mine_span(options.trace, "build.mine");
   auto miner = fpm::MakeMiner(options.miner);
   if (!miner.ok()) return miner.status();
   fpm::MinerOptions mine_opts;
@@ -156,6 +157,7 @@ Result<SegregationCube> BuildSegregationCube(
   mine_opts.include_empty = true;  // the all-⋆ root and pure-SA cells
   auto mined = miner.value()->Mine(encoded.db, mine_opts);
   if (!mined.ok()) return mined.status();
+  mine_span.End();
   st->seconds_mining = timer.Seconds();
   st->mined_itemsets = mined.value().size();
 
@@ -165,6 +167,7 @@ Result<SegregationCube> BuildSegregationCube(
   // context's cover and histogram are computed exactly once with no shared
   // memo map to contend on.
   timer.Reset();
+  trace::Span group_span(options.trace, "build.group");
   std::vector<ContextGroup> groups;
   std::unordered_map<fpm::Itemset, size_t, fpm::ItemsetHash> group_of;
   for (const fpm::FrequentItemset& fs : mined.value()) {
@@ -179,10 +182,12 @@ Result<SegregationCube> BuildSegregationCube(
   // TransactionDb builds item covers lazily behind a const facade; force
   // them (and the support cache) into existence before any worker reads.
   if (encoded.db.NumItems() > 0) encoded.db.ItemCover(0);
+  group_span.End();
   st->seconds_grouping = timer.Seconds();
 
   // --- Filling ------------------------------------------------------------
   timer.Reset();
+  trace::Span fill_span(options.trace, "build.fill");
   SegregationCube cube(encoded.catalog, encoded.unit_labels);
   size_t threads =
       std::min(ThreadPool::EffectiveThreads(options.num_threads),
@@ -229,6 +234,7 @@ Result<SegregationCube> BuildSegregationCube(
       cube.Insert(std::move(cell));
     }
   }
+  fill_span.End();
   st->seconds_filling = timer.Seconds();
   st->contexts_memoized = groups.size();
   return cube;
@@ -238,7 +244,9 @@ Result<SegregationCube> BuildSegregationCube(
     const relational::Table& final_table, const CubeBuilderOptions& options,
     CubeBuildStats* stats) {
   WallTimer timer;
+  trace::Span encode_span(options.trace, "build.encode");
   auto encoded = relational::EncodeForAnalysis(final_table);
+  encode_span.End();
   if (!encoded.ok()) return encoded.status();
   double encode_secs = timer.Seconds();
   auto cube = BuildSegregationCube(encoded.value(), options, stats);

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "cube/cube.h"
 #include "fpm/miner.h"
 #include "relational/table.h"
@@ -60,6 +61,12 @@ struct CubeBuilderOptions {
 
   /// Atkinson parameter etc.
   indexes::IndexParams index_params;
+
+  /// Optional span sink (not owned). Phases record as "build.encode",
+  /// "build.mine", "build.group" and "build.fill" — the same names
+  /// bench_cube_builder and PublishAndWarm ("build.seal") report, so one
+  /// trace shows the whole publish path. Null = no tracing.
+  trace::TraceContext* trace = nullptr;
 };
 
 /// \brief Build statistics (reported by the demo's efficiency discussion).

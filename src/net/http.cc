@@ -299,6 +299,7 @@ Status ChunkedWriter::Emit(std::string_view raw) {
 Status ChunkedWriter::WriteHead(const HttpResponse& head, bool keep_alive) {
   if (head_written_) return Status::FailedPrecondition("head already written");
   head_written_ = true;
+  trace::Span span(trace_, "wire.head");
   return Emit(SerializeResponseHead(head, keep_alive, /*chunked=*/true));
 }
 
@@ -314,6 +315,7 @@ Status ChunkedWriter::Write(std::string_view data) {
 Status ChunkedWriter::Flush() {
   if (!status_.ok()) return status_;
   if (buffer_.empty()) return status_;
+  trace::Span span(trace_, "wire.flush");
   char size_line[32];
   int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
                         buffer_.size());

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "net/socket.h"
 
 namespace scube {
@@ -134,6 +135,11 @@ class ChunkedWriter {
   explicit ChunkedWriter(WriteFn write,
                          size_t flush_bytes = kDefaultFlushBytes);
 
+  /// Attaches a trace (null = off): WriteHead records a "wire.head" span
+  /// and every non-empty Flush a "wire.flush" span, so a trace shows how
+  /// much of a streamed request went to socket writes.
+  void set_trace(trace::TraceContext* trace) { trace_ = trace; }
+
   /// Writes the status line + headers with Transfer-Encoding: chunked.
   /// The head is flushed immediately so the client's first byte does not
   /// wait for the first body chunk (time-to-first-byte).
@@ -164,6 +170,7 @@ class ChunkedWriter {
 
   WriteFn write_;
   size_t flush_bytes_;
+  trace::TraceContext* trace_ = nullptr;
   std::string buffer_;
   size_t peak_buffer_ = 0;
   uint64_t bytes_written_ = 0;

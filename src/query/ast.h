@@ -20,6 +20,7 @@
 #ifndef SCUBE_QUERY_AST_H_
 #define SCUBE_QUERY_AST_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -42,6 +43,9 @@ enum class Verb {
 };
 
 const char* VerbToString(Verb verb);
+
+/// Number of Verb enumerators (per-verb metric arrays index by Verb).
+constexpr size_t kNumVerbs = 7;
 
 /// \brief One coordinate constraint, e.g. {"sex", "F"}.
 struct AttrValue {

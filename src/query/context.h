@@ -12,6 +12,8 @@
 #include <limits>
 #include <optional>
 
+#include "common/trace.h"
+
 namespace scube {
 namespace query {
 
@@ -22,6 +24,12 @@ struct QueryContext {
 
   /// Absolute deadline; unset = unbounded.
   std::optional<Clock::time_point> deadline;
+
+  /// Span sink for this request; null = tracing off (the common case —
+  /// every instrumentation site passes this straight to trace::Span,
+  /// which is a no-op on null). Non-owning: the router keeps the
+  /// TraceContext alive for the request's duration.
+  trace::TraceContext* trace = nullptr;
 
   /// A context whose deadline is `ms` milliseconds from now. Non-positive
   /// `ms` yields an already-expired context (useful in tests).

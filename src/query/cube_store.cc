@@ -6,11 +6,14 @@ namespace scube {
 namespace query {
 
 uint64_t CubeStore::Publish(const std::string& name,
-                            cube::SegregationCube cube, size_t num_threads) {
+                            cube::SegregationCube cube, size_t num_threads,
+                            trace::TraceContext* trace) {
   // Seal outside the lock: index construction is the expensive part and
   // must not block readers of other cubes.
+  trace::Span seal_span(trace, "build.seal");
   auto snapshot = std::make_shared<const cube::CubeView>(
       std::move(cube).Seal(num_threads));
+  seal_span.End();
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   uint64_t version = ++entry.latest;

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/trace.h"
 #include "cube/cube.h"
 #include "cube/cube_view.h"
 #include "query/query_result.h"
@@ -53,9 +54,12 @@ class CubeStore {
   /// holding them keep them alive). `num_threads` parallelises the seal
   /// (see SegregationCube::Seal(): 1 = sequential, 0 = hardware, N = at
   /// most N shared-pool threads) — the sealed view is identical either
-  /// way, only publish latency changes.
+  /// way, only publish latency changes. When `trace` is non-null the seal
+  /// is recorded as a "build.seal" span (the same phase name
+  /// bench_cube_builder reports, so publish and bench timings line up).
   uint64_t Publish(const std::string& name, cube::SegregationCube cube,
-                   size_t num_threads = 1);
+                   size_t num_threads = 1,
+                   trace::TraceContext* trace = nullptr);
 
   /// Latest snapshot, or nullptr when no cube has that name. When
   /// `version` is non-null it receives the snapshot's version (0 when

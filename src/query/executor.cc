@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/trace.h"
+
 namespace scube {
 namespace query {
 
@@ -114,6 +116,31 @@ enum class Mode {
   kDrilldown,  ///< child adjacency / probes
   kScan,       ///< SURPRISES / REVERSALS: shared pass over the cell array
 };
+
+/// Span name of the index walk a mode performs — the per-verb phase names
+/// surfaced by ?debug=trace and the slow-query log.
+const char* SpanNameFor(Mode mode) {
+  switch (mode) {
+    case Mode::kPoint:
+      return "walk.point";
+    case Mode::kSliceSa:
+    case Mode::kSliceCa:
+      return "walk.slice";
+    case Mode::kSliceAll:
+      return "walk.all";
+    case Mode::kDice:
+      return "walk.dice";
+    case Mode::kTopK:
+      return "walk.topk";
+    case Mode::kRollup:
+      return "walk.rollup";
+    case Mode::kDrilldown:
+      return "walk.drilldown";
+    case Mode::kScan:
+      return "walk.analytic";
+  }
+  return "walk";
+}
 
 struct Prepared {
   const Query* query = nullptr;
@@ -381,12 +408,16 @@ Status EmitPrepared(const cube::CubeView& view, Prepared& p,
     // Ordered answers need every stream row before the sort; pagination
     // slices the sorted vector. No scan pushdown is possible here.
     std::vector<ResultRow> rows;
+    trace::Span walk_span(ctx.trace, SpanNameFor(p.mode));
     status = WalkRows(view, p, ticker, &scanned, [&rows](auto&& make) {
       rows.push_back(make());
       return true;
     });
+    walk_span.End();
     if (status.ok()) {
+      trace::Span sort_span(ctx.trace, "sort");
       SortRows(*q.order, &rows);
+      sort_span.End();
       // The pager learns about non-exhaustion by being offered the first
       // row past the page, so no special casing is needed here.
       for (ResultRow& row : rows) {
@@ -396,6 +427,10 @@ Status EmitPrepared(const cube::CubeView& view, Prepared& p,
       }
     }
   } else {
+    // The unordered walk streams straight into the sink, so this span
+    // covers index traversal AND row delivery (serialisation pushback
+    // included) — which is exactly the time a client waits for rows.
+    trace::Span walk_span(ctx.trace, SpanNameFor(p.mode));
     status = WalkRows(view, p, ticker, &scanned, [&pager](auto&& make) {
       return pager.Offer(make);
     });
@@ -491,7 +526,9 @@ Status Executor::ExecuteToSink(const Query& query, const QueryContext& ctx,
   if (stats == nullptr) stats = &local;
   *stats = StreamStats{};
 
+  trace::Span resolve_span(ctx.trace, "resolve");
   Prepared p = PrepareQuery(*this, query);
+  resolve_span.End();
   if (!p.error.ok()) return p.error;
   if (ctx.Expired()) {
     return Status::DeadlineExceeded(
@@ -500,6 +537,7 @@ Status Executor::ExecuteToSink(const Query& query, const QueryContext& ctx,
   if (p.mode == Mode::kScan) {
     // A lone analytic query still pays one cell pass; batches amortise it
     // through ExecuteBatch instead.
+    trace::Span scan_span(ctx.trace, "scan.analytic");
     if (!RunSharedScan(view_, {&p}, ctx)) {
       return Status::DeadlineExceeded(
           "query deadline expired before execution completed");
@@ -513,16 +551,19 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
   // --- prepare: resolve coordinates, classify by index path --------------
   std::vector<Prepared> prepared(queries.size());
   std::vector<Prepared*> scans;
+  trace::Span resolve_span(ctx.trace, "resolve");
   for (size_t i = 0; i < queries.size(); ++i) {
     prepared[i] = PrepareQuery(*this, queries[i]);
     if (prepared[i].error.ok() && prepared[i].mode == Mode::kScan) {
       scans.push_back(&prepared[i]);
     }
   }
+  resolve_span.End();
 
   // --- one shared pass over the cell array for every analytic query ------
   bool scan_expired = false;
   if (!scans.empty()) {
+    trace::Span scan_span(ctx.trace, "scan.analytic");
     scan_expired = !RunSharedScan(view_, scans, ctx);
   }
 

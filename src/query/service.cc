@@ -4,7 +4,9 @@
 #include <map>
 #include <memory>
 
+#include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "query/executor.h"
 #include "query/parser.h"
 
@@ -151,7 +153,12 @@ Status QueryService::AdmitOrShed(bool stream) {
 
 QueryContext QueryService::WithDefaultDeadline(const QueryContext& ctx) const {
   if (ctx.has_deadline() || options_.default_deadline_ms <= 0) return ctx;
-  return QueryContext::WithTimeout(options_.default_deadline_ms);
+  // Copy, don't rebuild: the context carries more than the deadline now
+  // (the trace pointer), and all of it must survive defaulting.
+  QueryContext with_deadline = ctx;
+  with_deadline.deadline =
+      QueryContext::WithTimeout(options_.default_deadline_ms).deadline;
+  return with_deadline;
 }
 
 QueryResponse QueryService::ExecuteOne(const std::string& text,
@@ -167,7 +174,9 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   // Shedding must be cheap: check the backlog before any parse or cache
   // work, and reject the whole batch when the queue is at its bound. The
   // front-end maps Unavailable to HTTP 503 + Retry-After.
+  trace::Span admit_span(ctx.trace, "admit");
   Status admitted = AdmitOrShed(/*stream=*/false);
+  admit_span.End();
   if (!admitted.ok()) {
     for (size_t i = 0; i < texts.size(); ++i) {
       responses[i].text = texts[i];
@@ -195,6 +204,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   };
   std::map<std::string, Group> groups;  // key: name \x1F version
 
+  trace::Span prepare_span(context.trace, "prepare");
   for (size_t i = 0; i < texts.size(); ++i) {
     QueryResponse& resp = responses[i];
     resp.text = texts[i];
@@ -209,6 +219,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     Query query = std::move(parsed).value();
     resp.canonical = Canonical(query);
     resp.cube = query.cube.empty() ? options_.default_cube : query.cube;
+    resp.verb = VerbToString(query.verb);
     resp.query_hash = CursorQueryHash(query);
 
     uint64_t version = 0;
@@ -251,6 +262,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       group.misses[it->second].indices.push_back(i);
     }
   }
+  prepare_span.End();
 
   if (groups.empty()) {
     completed_.fetch_add(texts.size(), std::memory_order_relaxed);
@@ -269,6 +281,9 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     std::string cube_name;
     uint64_t cube_version;
     QueryContext ctx;
+    /// When the chunk entered the worker queue; the gap to execution start
+    /// is recorded retroactively as the "queue_wait" span.
+    QueryContext::Clock::time_point enqueued;
   };
   std::vector<std::unique_ptr<Chunk>> chunks;
   size_t chunks_per_group =
@@ -301,6 +316,13 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   size_t remaining = chunks.size();
 
   auto run_chunk = [&done_mu, &done_cv, &remaining](Chunk* chunk) {
+    if (chunk->ctx.trace != nullptr) {
+      // Queue wait spans two threads (enqueue on the batch thread, start
+      // here), so it is recorded retroactively rather than via RAII.
+      chunk->ctx.trace->Record("queue_wait", chunk->enqueued,
+                               QueryContext::Clock::now());
+    }
+    trace::Span execute_span(chunk->ctx.trace, "execute");
     // A chunk whose deadline passed while it sat in the queue answers
     // DeadlineExceeded outright — no executor construction, no scan: the
     // worker moves straight on to still-live work.
@@ -339,6 +361,10 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
         }
       }
     }
+    // The span must close BEFORE the notify below: once remaining hits 0
+    // the batch thread returns and the caller may destroy the
+    // TraceContext, so no touch of it may follow the notify.
+    execute_span.End();
     {
       // Notify while holding the lock: the batch thread cannot observe
       // remaining == 0 (and destroy done_cv) before this worker is done
@@ -356,8 +382,10 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (!stopping_) {
+      const auto now = QueryContext::Clock::now();
       for (auto& chunk_ptr : chunks) {
         Chunk* chunk = chunk_ptr.get();
+        chunk->enqueued = now;
         queue_.push_back([chunk, &run_chunk] { run_chunk(chunk); });
       }
       enqueued = true;
@@ -411,7 +439,9 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
   // whole lifetime (streams_in_flight_) and an overloaded service sheds
   // new work the same way (the front-end maps Unavailable to 503 +
   // Retry-After).
+  trace::Span admit_span(ctx.trace, "admit");
   Status admitted = AdmitOrShed(/*stream=*/true);
+  admit_span.End();
   if (!admitted.ok()) {
     outcome.status = std::move(admitted);
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -434,11 +464,13 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
   };
 
   // --- parse and resolve the snapshot -------------------------------------
+  trace::Span prepare_span(context.trace, "prepare");
   auto parsed = Parse(text);
   if (!parsed.ok()) return finish(parsed.status());
   Query query = std::move(parsed).value();
   outcome.canonical = Canonical(query);
   outcome.cube = query.cube.empty() ? options_.default_cube : query.cube;
+  outcome.verb = VerbToString(query.verb);
   const uint64_t query_hash = CursorQueryHash(query);
 
   CubeStore::Snapshot snapshot;
@@ -489,6 +521,7 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
     }
   }
   outcome.cube_version = version;
+  prepare_span.End();
 
   // --- cache: hits replay through the sink, byte-identical to a live
   // stream (cursor-resumed pages are never cached or served from cache).
@@ -507,7 +540,9 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
       // mid-replay: a partial stream has no resume point, exactly as on
       // the live path below.
       bool aborted = false;
+      trace::Span replay_span(context.trace, "cache_replay");
       outcome.rows = ReplayResult(*cached, sink, &trailer, &aborted);
+      replay_span.End();
       outcome.exec_ms = timer.Millis();
       outcome.cells_scanned = cached->cells_scanned;
       outcome.next_cursor = aborted ? "" : trailer.next_cursor;
@@ -524,7 +559,9 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
   WallTimer timer;
   Executor executor(*snapshot);
   StreamStats stats;
+  trace::Span execute_span(context.trace, "execute");
   Status status = executor.ExecuteToSink(query, context, target, &stats);
+  execute_span.End();
   outcome.exec_ms = timer.Millis();
   outcome.begun = stats.begun;
   outcome.rows = stats.rows_emitted;
@@ -562,15 +599,30 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
 QueryService::PublishInfo QueryService::PublishAndWarm(
     const std::string& name, cube::SegregationCube cube) {
   PublishInfo info;
+  // Publishes are rare and expensive enough to always trace: the span
+  // summary (build.seal + warm phases) goes to the log so publish latency
+  // regressions are attributable without flipping any flag.
+  trace::TraceContext tc;
   // The warming set is decided by traffic up to now: the hottest cached
   // texts for this cube, across the versions currently in cache.
   std::vector<std::string> hottest = cache_.Hottest(name, options_.warm_top_n);
   info.version =
-      store_->Publish(name, std::move(cube), options_.seal_threads);
-  if (hottest.empty()) return info;
+      store_->Publish(name, std::move(cube), options_.seal_threads, &tc);
+  auto log_summary = [&] {
+    SCUBE_LOG(Info) << "published '" << name << "' v" << info.version
+                    << " warmed=" << info.warmed << " [" << tc.Summary()
+                    << "]";
+  };
+  if (hottest.empty()) {
+    log_summary();
+    return info;
+  }
 
   CubeStore::Snapshot snapshot = store_->GetVersion(name, info.version);
-  if (snapshot == nullptr) return info;
+  if (snapshot == nullptr) {
+    log_summary();
+    return info;
+  }
 
   std::vector<Query> queries;
   std::vector<std::string> canonicals;
@@ -583,11 +635,15 @@ QueryService::PublishInfo QueryService::PublishAndWarm(
     canonicals.push_back(Canonical(q));
     queries.push_back(std::move(q));
   }
-  if (queries.empty()) return info;
+  if (queries.empty()) {
+    log_summary();
+    return info;
+  }
 
   // Warming runs on the publisher's thread, off the admission queue: it
   // cannot be shed by the very overload it exists to soften, and it does
   // not displace live traffic from the workers.
+  trace::Span warm_span(&tc, "warm");
   Executor executor(*snapshot);
   auto results = executor.ExecuteBatch(queries);
   for (size_t i = 0; i < results.size(); ++i) {
@@ -596,6 +652,8 @@ QueryService::PublishInfo QueryService::PublishAndWarm(
                std::move(results[i]).value());
     ++info.warmed;
   }
+  warm_span.End();
+  log_summary();
   return info;
 }
 

@@ -95,6 +95,8 @@ struct QueryResponse {
   std::string text;       ///< the query as submitted
   std::string canonical;  ///< normalised form (empty on parse errors)
   std::string cube;       ///< resolved cube name
+  std::string verb;       ///< SCubeQL verb ("slice", "topk", …; empty on
+                          ///< parse errors) — the per-verb histogram label
   uint64_t cube_version = 0;
 
   Status status;       ///< parse / resolution / execution outcome
@@ -138,6 +140,7 @@ class QueryService {
     std::string text;       ///< the query as submitted
     std::string canonical;  ///< normalised form (empty on parse errors)
     std::string cube;       ///< resolved cube name
+    std::string verb;       ///< SCubeQL verb (empty on parse errors)
     uint64_t cube_version = 0;
 
     Status status;  ///< parse / resolution / execution outcome

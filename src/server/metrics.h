@@ -10,10 +10,32 @@
 #include <cstdint>
 #include <string>
 
+#include "common/trace.h"
+#include "net/http.h"
 #include "query/service.h"
 
 namespace scube {
 namespace server {
+
+/// Request routes with their own latency series
+/// (scubed_request_latency_seconds{route="..."}).
+enum class Route {
+  kQuery = 0,    ///< POST /query (buffered)
+  kStream,       ///< POST /query?stream=1 (chunked)
+  kCubes,        ///< GET /cubes
+  kHealthz,      ///< GET /healthz
+  kMetrics,      ///< GET /metrics
+  kLine,         ///< line-protocol query lines
+  kOther,        ///< unmatched paths (404s and friends)
+};
+constexpr size_t kNumRoutes = 7;
+
+/// The route's Prometheus label value ("query", "stream", …).
+const char* RouteLabel(Route route);
+
+/// Classifies a parsed request into a Route (the same decision the
+/// router's dispatch makes, shared so latency attribution can't drift).
+Route ClassifyRoute(const net::HttpRequest& request);
 
 /// \brief Lock-free serving counters. One instance per ScubedServer.
 struct ServerMetrics {
@@ -36,6 +58,30 @@ struct ServerMetrics {
   /// exists to avoid.
   std::atomic<uint64_t> streamed_buffer_peak{0};
   std::atomic<uint64_t> buffered_body_peak{0};
+
+  /// Requests whose total latency crossed the slow-query threshold (only
+  /// counted when the slow-query log is enabled).
+  std::atomic<uint64_t> slow_queries{0};
+
+  /// End-to-end request latency per route, handler entry to last byte
+  /// written (scubed_request_latency_seconds{route=...}).
+  trace::LatencyHistogram route_latency[kNumRoutes];
+
+  /// Execution latency per SCubeQL verb, cache hits included
+  /// (scubed_query_latency_seconds{verb=...}).
+  trace::LatencyHistogram verb_latency[query::kNumVerbs];
+
+  /// Streaming time-to-first-byte: request entry until the first response
+  /// byte is handed to the socket (scubed_stream_ttfb_seconds).
+  trace::LatencyHistogram stream_ttfb;
+
+  void ObserveRoute(Route route, double ms) {
+    route_latency[static_cast<size_t>(route)].Observe(ms);
+  }
+
+  /// Records one verb execution; `verb` is QueryResponse::verb (any case;
+  /// unknown/empty strings — parse errors — are dropped).
+  void ObserveVerb(const std::string& verb, double ms);
 
   void Inc(std::atomic<uint64_t>& counter) {
     counter.fetch_add(1, std::memory_order_relaxed);

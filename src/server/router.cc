@@ -2,13 +2,35 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "common/trace.h"
 
 namespace scube {
 namespace server {
 
 namespace {
+
+/// Whether this request gets a TraceContext: explicitly requested
+/// (?debug=trace), globally forced (--trace), or implied by the
+/// slow-query log (an offending line must carry its span tree, which
+/// only exists if the request was traced from the start).
+bool ShouldTrace(const RouterContext& ctx, const net::HttpRequest& request) {
+  return request.Param("debug") == "trace" || ctx.trace_all ||
+         (ctx.slow_log != nullptr && ctx.slow_log->enabled());
+}
+
+/// Records per-verb execution latency for every parsed statement of a
+/// batch answer (parse errors have no verb and are skipped).
+void ObserveVerbs(const RouterContext& ctx,
+                  const std::vector<query::QueryResponse>& responses) {
+  if (ctx.metrics == nullptr) return;
+  for (const query::QueryResponse& r : responses) {
+    if (!r.verb.empty()) ctx.metrics->ObserveVerb(r.verb, r.exec_ms);
+  }
+}
 
 net::HttpResponse JsonError(int status, const std::string& message) {
   net::HttpResponse resp(status, "{\"error\":" + JsonQuote(message) + "}\n");
@@ -65,10 +87,17 @@ std::string ParseQueryParams(const net::HttpRequest& request,
 
 net::HttpResponse HandleQuery(const RouterContext& ctx,
                               const net::HttpRequest& request) {
+  WallTimer timer;
   std::string format;
   query::QueryContext qctx;
   std::string validation = ParseQueryParams(request, &format, &qctx);
   if (!validation.empty()) return JsonError(400, validation);
+
+  // The trace must attach AFTER ParseQueryParams: ?deadline_ms= replaces
+  // the whole context, which would silently drop an earlier pointer.
+  std::optional<trace::TraceContext> tc;
+  if (ShouldTrace(ctx, request)) tc.emplace();
+  qctx.trace = tc ? &*tc : nullptr;
 
   std::vector<std::string> statements = SplitStatements(request.body);
   if (statements.empty()) {
@@ -78,12 +107,37 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
 
   std::vector<query::QueryResponse> responses =
       ctx.service->ExecuteBatch(statements, qctx);
+  ObserveVerbs(ctx, responses);
+
+  auto maybe_slow_log = [&](const char* code, uint64_t rows) {
+    if (ctx.slow_log == nullptr) return;
+    SlowQueryRecord record;
+    record.route = RouteLabel(Route::kQuery);
+    record.query = statements.size() == 1
+                       ? statements[0]
+                       : statements[0] + " (+" +
+                             std::to_string(statements.size() - 1) +
+                             " more statements)";
+    record.code = code;
+    record.total_ms = timer.Millis();
+    record.rows = rows;
+    record.trace = tc ? &*tc : nullptr;
+    if (ctx.slow_log->MaybeLog(record) && ctx.metrics != nullptr) {
+      ctx.metrics->Inc(ctx.metrics->slow_queries);
+    }
+  };
 
   if (AllUnavailable(responses)) {
     net::HttpResponse resp =
         JsonError(503, responses.front().status.message());
     resp.SetHeader("Retry-After", "1");
+    maybe_slow_log("UNAVAILABLE", 0);
     return resp;
+  }
+
+  uint64_t total_rows = 0;
+  for (const query::QueryResponse& r : responses) {
+    if (r.status.ok()) total_rows += r.result.rows.size();
   }
 
   if (format == "csv") {
@@ -91,6 +145,7 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
     resp.content_type = "text/csv; charset=utf-8";
     resp.SetHeader("Content-Disposition",
                    "attachment; filename=\"scube_query.csv\"");
+    trace::Span serialize_span(qctx.trace, "serialize");
     for (size_t i = 0; i < responses.size(); ++i) {
       const query::QueryResponse& r = responses[i];
       resp.body += "# query " + std::to_string(i) + ": " + r.text + " [" +
@@ -100,16 +155,29 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
       }
       if (i + 1 < responses.size()) resp.body += '\n';
     }
+    serialize_span.End();
+    maybe_slow_log(StatusCodeToString(responses.front().status.code()),
+                   total_rows);
     return resp;
   }
 
+  trace::Span serialize_span(qctx.trace, "serialize");
   std::string body = "{\"count\":" + std::to_string(responses.size()) +
                      ",\"results\":[";
   for (size_t i = 0; i < responses.size(); ++i) {
     if (i > 0) body += ',';
     body += ResponseToJson(responses[i]);
   }
-  body += "]}\n";
+  body += "]";
+  serialize_span.End();
+  // Opt-in span breakdown in the envelope: only for ?debug=trace, not for
+  // traces that merely exist for --trace or the slow-query log.
+  if (tc && request.Param("debug") == "trace") {
+    body += ",\"trace\":" + tc->ToJson();
+  }
+  body += "}\n";
+  maybe_slow_log(StatusCodeToString(responses.front().status.code()),
+                 total_rows);
   return net::HttpResponse(200, std::move(body));
 }
 
@@ -176,11 +244,15 @@ int HttpStatusFor(StatusCode code) {
 class StreamSink : public query::RowSink {
  public:
   StreamSink(net::ChunkedWriter* writer, net::HttpResponse head,
-             bool keep_alive, std::string prefix, bool csv)
+             bool keep_alive, std::string prefix, bool csv,
+             trace::TraceContext* trace = nullptr,
+             const WallTimer* request_timer = nullptr)
       : writer_(writer),
         head_(std::move(head)),
         keep_alive_(keep_alive),
-        prefix_(std::move(prefix)) {
+        prefix_(std::move(prefix)),
+        trace_(trace),
+        request_timer_(request_timer) {
     auto emit = [writer](std::string_view data) {
       return writer->Write(data).ok();
     };
@@ -192,10 +264,16 @@ class StreamSink : public query::RowSink {
   }
 
   bool Begin(const query::ResultHeader& header) override {
+    // "first_byte" covers the head, the envelope prefix and the eager
+    // flush — everything between execution reaching Begin and the client
+    // seeing its first byte.
+    trace::Span span(trace_, "first_byte");
     if (!writer_->WriteHead(head_, keep_alive_).ok()) return false;
     if (!prefix_.empty() && !writer_->Write(prefix_).ok()) return false;
     bool ok = inner_->Begin(header);
-    return writer_->Flush().ok() && ok;
+    bool flushed = writer_->Flush().ok();
+    if (request_timer_ != nullptr) ttfb_ms_ = request_timer_->Millis();
+    return flushed && ok;
   }
 
   bool Row(const query::ResultRow& row) override { return inner_->Row(row); }
@@ -204,11 +282,18 @@ class StreamSink : public query::RowSink {
     inner_->Finish(trailer);
   }
 
+  /// Milliseconds from request entry to the first byte reaching the
+  /// socket; negative until Begin has run.
+  double ttfb_ms() const { return ttfb_ms_; }
+
  private:
   net::ChunkedWriter* writer_;
   net::HttpResponse head_;
   bool keep_alive_;
   std::string prefix_;
+  trace::TraceContext* trace_;
+  const WallTimer* request_timer_;
+  double ttfb_ms_ = -1;
   std::unique_ptr<query::ResultWriter> inner_;
 };
 
@@ -225,6 +310,7 @@ bool IsStreamingQuery(const net::HttpRequest& request) {
 bool HandleQueryStream(const RouterContext& ctx,
                        const net::HttpRequest& request, bool keep_alive,
                        const net::ChunkedWriter::WriteFn& write) {
+  WallTimer timer;
   auto buffered_error = [&](net::HttpResponse resp) {
     resp.content_type = "application/json";
     return write(net::SerializeResponse(resp, keep_alive)).ok();
@@ -236,6 +322,11 @@ bool HandleQueryStream(const RouterContext& ctx,
   std::string format;
   query::QueryContext qctx;
   std::string validation = ParseQueryParams(request, &format, &qctx);
+
+  // Attach AFTER ParseQueryParams: ?deadline_ms= replaces the context.
+  std::optional<trace::TraceContext> tc;
+  if (ShouldTrace(ctx, request)) tc.emplace();
+  qctx.trace = tc ? &*tc : nullptr;
 
   std::vector<std::string> statements = SplitStatements(request.body);
   if (validation.empty() && statements.size() != 1) {
@@ -261,12 +352,36 @@ bool HandleQueryStream(const RouterContext& ctx,
   }
 
   net::ChunkedWriter writer(write);
+  writer.set_trace(qctx.trace);
   const bool csv = format == "csv";
   std::string prefix =
       csv ? "" : "{\"query\":" + JsonQuote(statements[0]) + ",\"result\":";
-  StreamSink sink(&writer, head, keep_alive, std::move(prefix), csv);
+  StreamSink sink(&writer, head, keep_alive, std::move(prefix), csv,
+                  qctx.trace, &timer);
   query::QueryService::StreamOutcome outcome =
       ctx.service->ExecuteStreaming(statements[0], sink, qctx, cursor);
+  if (ctx.metrics != nullptr) {
+    if (!outcome.verb.empty()) {
+      ctx.metrics->ObserveVerb(outcome.verb, outcome.exec_ms);
+    }
+    if (sink.ttfb_ms() >= 0) {
+      ctx.metrics->stream_ttfb.Observe(sink.ttfb_ms());
+    }
+  }
+
+  auto maybe_slow_log = [&](const char* code) {
+    if (ctx.slow_log == nullptr) return;
+    SlowQueryRecord record;
+    record.route = RouteLabel(Route::kStream);
+    record.query = statements[0];
+    record.code = code;
+    record.total_ms = timer.Millis();
+    record.rows = outcome.rows;
+    record.trace = tc ? &*tc : nullptr;
+    if (ctx.slow_log->MaybeLog(record) && ctx.metrics != nullptr) {
+      ctx.metrics->Inc(ctx.metrics->slow_queries);
+    }
+  };
 
   if (!outcome.begun) {
     // Nothing on the wire yet: answer as a plain buffered HTTP error.
@@ -274,6 +389,7 @@ bool HandleQueryStream(const RouterContext& ctx,
     net::HttpResponse resp = JsonError(status, outcome.status.message());
     if (status == 503) resp.SetHeader("Retry-After", "1");
     if (ctx.metrics != nullptr) ctx.metrics->Inc(ctx.metrics->http_errors);
+    maybe_slow_log(StatusCodeToString(outcome.status.code()));
     return buffered_error(std::move(resp));
   }
 
@@ -290,7 +406,13 @@ bool HandleQueryStream(const RouterContext& ctx,
             ",\"version\":" + std::to_string(outcome.cube_version) +
             ",\"cache_hit\":";
     tail += outcome.cache_hit ? "true" : "false";
-    tail += ",\"rows\":" + std::to_string(outcome.rows) + "}\n";
+    tail += ",\"rows\":" + std::to_string(outcome.rows);
+    // Span breakdown rides in the trailer chunk of the streamed envelope
+    // — rendered after execution, so it contains the full walk spans.
+    if (tc && request.Param("debug") == "trace") {
+      tail += ",\"trace\":" + tc->ToJson();
+    }
+    tail += "}\n";
     writer.Write(tail);
   } else if (!outcome.status.ok()) {
     writer.Write("# code: " +
@@ -315,6 +437,7 @@ bool HandleQueryStream(const RouterContext& ctx,
                           writer.peak_buffer_bytes());
   }
   writer.Finish();
+  maybe_slow_log(StatusCodeToString(outcome.status.code()));
   return writer.ok();
 }
 
@@ -359,7 +482,37 @@ std::string HandleProtocolLine(const RouterContext& ctx,
                                const std::string& line) {
   std::string_view text = Trim(line);
   if (text.empty() || text.front() == '#') return "";
-  return ResponseToJson(ctx.service->ExecuteOne(std::string(text)));
+
+  WallTimer timer;
+  // No ?debug= on the line protocol: tracing comes from --trace or the
+  // slow-query log needing span trees.
+  std::optional<trace::TraceContext> tc;
+  if (ctx.trace_all ||
+      (ctx.slow_log != nullptr && ctx.slow_log->enabled())) {
+    tc.emplace();
+  }
+  query::QueryContext qctx;
+  qctx.trace = tc ? &*tc : nullptr;
+
+  query::QueryResponse response =
+      ctx.service->ExecuteOne(std::string(text), qctx);
+  if (ctx.metrics != nullptr && !response.verb.empty()) {
+    ctx.metrics->ObserveVerb(response.verb, response.exec_ms);
+  }
+  std::string answer = ResponseToJson(response);
+  if (ctx.slow_log != nullptr) {
+    SlowQueryRecord record;
+    record.route = RouteLabel(Route::kLine);
+    record.query = std::string(text);
+    record.code = StatusCodeToString(response.status.code());
+    record.total_ms = timer.Millis();
+    record.rows = response.status.ok() ? response.result.rows.size() : 0;
+    record.trace = tc ? &*tc : nullptr;
+    if (ctx.slow_log->MaybeLog(record) && ctx.metrics != nullptr) {
+      ctx.metrics->Inc(ctx.metrics->slow_queries);
+    }
+  }
+  return answer;
 }
 
 }  // namespace server

@@ -2,7 +2,9 @@
 // plumbing so they can be unit-tested without sockets:
 //
 //   POST /query     execute a SCubeQL batch (one statement per body line);
-//                   ?format=json|csv, ?deadline_ms=N overrides the default
+//                   ?format=json|csv, ?deadline_ms=N overrides the default,
+//                   ?debug=trace attaches the request's span breakdown to
+//                   the JSON envelope (trailer chunk on the streamed path)
 //   POST /query?stream=1
 //                   stream ONE statement's answer with chunked transfer
 //                   encoding: rows leave as the index walks produce them,
@@ -25,6 +27,7 @@
 #include "query/cube_store.h"
 #include "query/service.h"
 #include "server/metrics.h"
+#include "server/slow_query_log.h"
 
 namespace scube {
 namespace server {
@@ -34,6 +37,14 @@ struct RouterContext {
   query::QueryService* service = nullptr;
   query::CubeStore* store = nullptr;
   ServerMetrics* metrics = nullptr;
+
+  /// Threshold-gated slow-query sink; null or disabled = off. When
+  /// enabled, every query request is traced (the offending line needs its
+  /// span tree).
+  SlowQueryLog* slow_log = nullptr;
+
+  /// Trace every request even without ?debug=trace (--trace flag).
+  bool trace_all = false;
 };
 
 /// Dispatches one parsed HTTP request to its handler. Never throws; any

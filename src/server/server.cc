@@ -5,16 +5,21 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 
 namespace scube {
 namespace server {
 
 ScubedServer::ScubedServer(query::QueryService* service,
                            query::CubeStore* store, ServerOptions options)
-    : service_(service), store_(store), options_(std::move(options)) {
+    : service_(service),
+      store_(store),
+      options_(std::move(options)),
+      slow_log_(options_.slow_query_ms, options_.slow_query_sink) {
   options_.num_connection_threads =
       std::max<size_t>(1, options_.num_connection_threads);
-  router_ = RouterContext{service_, store_, &metrics_};
+  router_ = RouterContext{service_, store_, &metrics_, &slow_log_,
+                          options_.trace_all};
 }
 
 ScubedServer::~ScubedServer() { Stop(); }
@@ -159,6 +164,10 @@ void ScubedServer::ServeHttp(net::Socket* socket,
       head = parsed->method == "HEAD";
     }
     metrics_.Inc(metrics_.http_requests);
+    // Route latency: handler entry (request fully read) to last byte
+    // written. Unparseable requests land under route="other".
+    WallTimer route_timer;
+    const Route route = parsed.ok() ? ClassifyRoute(*parsed) : Route::kOther;
     if (streamed) {
       // Streamed answers write incrementally — chunked transfer encoding
       // straight onto the socket, no response buffer. The handler owns
@@ -167,6 +176,7 @@ void ScubedServer::ServeHttp(net::Socket* socket,
       bool alive = HandleQueryStream(
           router_, *parsed, keep_alive,
           [socket](std::string_view data) { return socket->WriteAll(data); });
+      metrics_.ObserveRoute(route, route_timer.Millis());
       if (!alive) return;
     } else {
       if (parsed.ok()) response = HandleHttpRequest(router_, *parsed);
@@ -178,7 +188,9 @@ void ScubedServer::ServeHttp(net::Socket* socket,
       // HEAD: same headers as GET (including the true Content-Length),
       // no body bytes.
       if (head) wire.resize(wire.size() - response.body.size());
-      if (!socket->WriteAll(wire).ok()) return;
+      const bool wrote = socket->WriteAll(wire).ok();
+      metrics_.ObserveRoute(route, route_timer.Millis());
+      if (!wrote) return;
     }
     if (!keep_alive) return;
 
@@ -198,10 +210,15 @@ void ScubedServer::ServeLineProtocol(net::Socket* socket,
     if (trimmed == "QUIT" || trimmed == ".quit") return;
     if (!trimmed.empty()) {
       metrics_.Inc(metrics_.line_requests);
+      WallTimer route_timer;
       std::string answer = HandleProtocolLine(router_, trimmed);
       if (!answer.empty()) {
         answer += '\n';
-        if (!socket->WriteAll(answer).ok()) return;
+        const bool wrote = socket->WriteAll(answer).ok();
+        metrics_.ObserveRoute(Route::kLine, route_timer.Millis());
+        if (!wrote) return;
+      } else {
+        metrics_.ObserveRoute(Route::kLine, route_timer.Millis());
       }
     }
     auto next = NextLine(reader);

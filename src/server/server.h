@@ -20,6 +20,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -32,6 +33,7 @@
 #include "net/socket.h"
 #include "server/metrics.h"
 #include "server/router.h"
+#include "server/slow_query_log.h"
 
 namespace scube {
 namespace server {
@@ -66,6 +68,17 @@ struct ServerOptions {
   /// stall mid-request is not fatal; small enough that a stalled peer
   /// cannot pin a handler thread indefinitely.
   double request_read_seconds = 10.0;
+
+  /// Slow-query threshold in milliseconds (--slow-query-ms); requests
+  /// slower than this emit one JSON line with their span tree. 0 = off.
+  double slow_query_ms = 0;
+
+  /// Where slow-query lines go (not owned; tests pass a tmpfile()).
+  /// Null falls back to stderr.
+  std::FILE* slow_query_sink = nullptr;
+
+  /// Trace every request even without ?debug=trace (--trace flag).
+  bool trace_all = false;
 };
 
 /// \brief The scubed serving front-end. Start() spawns threads; Stop()
@@ -111,6 +124,7 @@ class ScubedServer {
   query::CubeStore* store_;
   ServerOptions options_;
   ServerMetrics metrics_;
+  SlowQueryLog slow_log_;  ///< initialised from options_: declare after it
   RouterContext router_;
 
   net::ListenSocket listener_;

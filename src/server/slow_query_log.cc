@@ -1,0 +1,43 @@
+#include "server/slow_query_log.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace scube {
+namespace server {
+
+std::string SlowQueryLog::FormatLine(const SlowQueryRecord& record,
+                                     double threshold_ms) {
+  std::string out = "{\"ts\":";
+  out += JsonQuote(FormatWallTimestampMillis());
+  out += ",\"slow_query_ms\":";
+  out += FormatDouble(threshold_ms, 3);
+  out += ",\"route\":";
+  out += JsonQuote(record.route);
+  out += ",\"code\":";
+  out += JsonQuote(record.code);
+  out += ",\"total_ms\":";
+  out += FormatDouble(record.total_ms, 3);
+  out += ",\"rows\":";
+  out += std::to_string(record.rows);
+  out += ",\"query\":";
+  out += JsonQuote(record.query);
+  if (record.trace != nullptr) {
+    out += ",\"trace\":";
+    out += record.trace->ToJson();
+  }
+  out += '}';
+  return out;
+}
+
+bool SlowQueryLog::MaybeLog(const SlowQueryRecord& record) {
+  if (!enabled() || record.total_ms < threshold_ms_) return false;
+  const std::string line = FormatLine(record, threshold_ms_);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(sink_, "%s\n", line.c_str());
+  std::fflush(sink_);
+  return true;
+}
+
+}  // namespace server
+}  // namespace scube

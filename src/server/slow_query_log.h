@@ -1,0 +1,72 @@
+// Threshold-gated structured slow-query log: every request slower than
+// `--slow-query-ms` emits exactly one JSON line to the configured sink
+// (stderr by default), carrying the request's span tree when it was
+// traced. One line per offender keeps the log greppable and
+// machine-parseable:
+//
+//   {"ts":"2026-08-08T14:03:21.042Z","slow_query_ms":87.3,
+//    "route":"stream","code":"OK","rows":1200,
+//    "query":"TOPK 50 BY gini",
+//    "trace":{"trace_id":"…","total_ms":87.3,"spans":[…]}}
+//
+// Enabling the log also makes the router trace every request (the span
+// tree must exist by the time the threshold check fires), so the cost of
+// `--slow-query-ms` is the cost of tracing — a handful of clock reads per
+// request — not of logging.
+
+#ifndef SCUBE_SERVER_SLOW_QUERY_LOG_H_
+#define SCUBE_SERVER_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/trace.h"
+
+namespace scube {
+namespace server {
+
+/// \brief One offending request, as the handlers describe it.
+struct SlowQueryRecord {
+  const char* route = "";      ///< RouteLabel value ("query", "stream", …)
+  std::string query;           ///< the statement text (or batch summary)
+  const char* code = "OK";     ///< final StatusCodeToString value
+  double total_ms = 0;         ///< end-to-end wall time
+  uint64_t rows = 0;           ///< rows answered/streamed
+  const trace::TraceContext* trace = nullptr;  ///< span tree, may be null
+};
+
+/// \brief Thread-safe slow-query sink. Threshold <= 0 disables it (every
+/// MaybeLog becomes a cheap no-op).
+class SlowQueryLog {
+ public:
+  /// Logs to `sink` (not owned; stderr by default — tests pass a
+  /// tmpfile()). A null sink falls back to stderr.
+  explicit SlowQueryLog(double threshold_ms, std::FILE* sink = stderr)
+      : threshold_ms_(threshold_ms), sink_(sink ? sink : stderr) {}
+
+  bool enabled() const { return threshold_ms_ > 0; }
+  double threshold_ms() const { return threshold_ms_; }
+
+  /// Emits one JSON line when enabled and record.total_ms crosses the
+  /// threshold. Returns true when a line was written (the caller bumps
+  /// the scubed_slow_queries_total counter on true).
+  bool MaybeLog(const SlowQueryRecord& record);
+
+  /// The JSON line for a record (no trailing newline) — the format is a
+  /// contract (CI archives these lines), so it is a pure, testable
+  /// function.
+  static std::string FormatLine(const SlowQueryRecord& record,
+                                double threshold_ms);
+
+ private:
+  double threshold_ms_;
+  std::FILE* sink_;
+  std::mutex mu_;  ///< one line at a time: no interleaved records
+};
+
+}  // namespace server
+}  // namespace scube
+
+#endif  // SCUBE_SERVER_SLOW_QUERY_LOG_H_

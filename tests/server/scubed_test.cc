@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -53,9 +55,10 @@ struct Fixture {
   query::QueryService service;
   ScubedServer server;
 
-  explicit Fixture(query::ServiceOptions service_options = {})
+  explicit Fixture(query::ServiceOptions service_options = {},
+                   ServerOptions server_options = MakeServerOptions())
       : service(&store, service_options),
-        server(&service, &store, MakeServerOptions()) {
+        server(&service, &store, server_options) {
     store.Publish("default", MakeCube(0.2));
     Status started = server.Start();
     EXPECT_TRUE(started.ok()) << started;
@@ -226,6 +229,142 @@ TEST(ScubedTest, MetricsExposeStreamingCounters) {
             std::string::npos);
   EXPECT_NE(metrics->body.find("scubed_buffered_body_peak_bytes"),
             std::string::npos);
+}
+
+TEST(ScubedTest, DebugTraceAttachesSpanTreeToBufferedEnvelope) {
+  Fixture fx;
+  // Without the param, no trace rides in the envelope.
+  auto plain = fx.Call("POST", "/query", "SLICE sa=sex=F");
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->body.find("\"trace\""), std::string::npos);
+
+  // A statement the plain call did NOT cache: a cache hit would answer
+  // inside "prepare" and the queue_wait/execute spans would rightly be
+  // absent.
+  auto traced = fx.Call("POST", "/query?debug=trace",
+                        "SLICE sa=sex=F | ca=region=north");
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  EXPECT_EQ(traced->status, 200);
+  size_t at = traced->body.find("\"trace\":{\"trace_id\":\"");
+  ASSERT_NE(at, std::string::npos) << traced->body;
+  // The serving path's named phases are all present and closed (no
+  // still-open spans leak into the rendered tree).
+  for (const char* name : {"\"name\":\"admit\"", "\"name\":\"prepare\"",
+                           "\"name\":\"queue_wait\"", "\"name\":\"execute\"",
+                           "\"name\":\"serialize\""}) {
+    EXPECT_NE(traced->body.find(name), std::string::npos) << name;
+  }
+  // total_ms is a positive wall time; the exact value is scheduler noise,
+  // but anything over a minute means a broken clock, not a slow box.
+  at = traced->body.find("\"total_ms\":", at);
+  ASSERT_NE(at, std::string::npos);
+  double total_ms = std::atof(traced->body.c_str() + at +
+                              std::string("\"total_ms\":").size());
+  EXPECT_GT(total_ms, 0.0);
+  EXPECT_LT(total_ms, 60000.0);
+  // The envelope stays valid JSON with the trace spliced in.
+  EXPECT_EQ(traced->body.find("]}\"trace\""), std::string::npos);
+}
+
+TEST(ScubedTest, DebugTraceAttachesSpanTreeToStreamedTail) {
+  Fixture fx;
+  auto resp = fx.Call("POST", "/query?stream=1&debug=trace",
+                      "SLICE sa=sex=F");
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->headers.at("transfer-encoding"), "chunked");
+  // The span tree rides in the trailer chunk of the streamed envelope.
+  size_t trace_at = resp->body.find("\"trace\":{\"trace_id\":\"");
+  ASSERT_NE(trace_at, std::string::npos) << resp->body;
+  for (const char* name :
+       {"\"name\":\"first_byte\"", "\"name\":\"execute\""}) {
+    EXPECT_NE(resp->body.find(name), std::string::npos) << name;
+  }
+  // The streamed-path trace must arrive after the rows, not before.
+  EXPECT_LT(resp->body.find("\"rows\":3"), trace_at);
+
+  // Plain streamed requests carry no trace.
+  auto plain = fx.Call("POST", "/query?stream=1", "SLICE sa=sex=F");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->body.find("\"trace\""), std::string::npos);
+}
+
+TEST(ScubedTest, LatencyHistogramsAppearOnMetricsAfterTraffic) {
+  Fixture fx;
+  ASSERT_TRUE(fx.Call("POST", "/query", "SLICE sa=sex=F").ok());
+  ASSERT_TRUE(fx.Call("POST", "/query?stream=1", "TOPK 1 BY dissimilarity "
+                      "WHERE M >= 1").ok());
+  auto metrics = fx.Call("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const std::string& body = metrics->body;
+  // Per-route request latency: one buffered query and one stream landed.
+  EXPECT_NE(body.find("scubed_request_latency_seconds_count"
+                      "{route=\"query\"} 1"),
+            std::string::npos)
+      << body.substr(0, 3000);
+  EXPECT_NE(body.find("scubed_request_latency_seconds_count"
+                      "{route=\"stream\"} 1"),
+            std::string::npos);
+  // Per-verb execution latency.
+  EXPECT_NE(body.find("scubed_query_latency_seconds_count"
+                      "{verb=\"slice\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("scubed_query_latency_seconds_count"
+                      "{verb=\"topk\"} 1"),
+            std::string::npos);
+  // Streaming TTFB observed exactly once, with its histogram family
+  // header present.
+  EXPECT_NE(body.find("scubed_stream_ttfb_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE scubed_stream_ttfb_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE scubed_request_latency_seconds histogram"),
+            std::string::npos);
+}
+
+TEST(ScubedTest, SlowQueryLogCapturesOffendersOverHttp) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  ServerOptions server_options = Fixture::MakeServerOptions();
+  server_options.slow_query_ms = 1e-6;  // everything is an offender
+  server_options.slow_query_sink = sink;
+  Fixture fx({}, server_options);
+
+  ASSERT_TRUE(fx.Call("POST", "/query", "SLICE sa=sex=F").ok());
+  ASSERT_TRUE(fx.Call("POST", "/query?stream=1", "SLICE sa=sex=F").ok());
+
+  std::rewind(sink);
+  char buf[16384];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, sink);
+  buf[n] = '\0';
+  std::string content(buf);
+  // One line per offender, each with its route, the statement and the
+  // span tree (slow-log mode forces tracing even without ?debug=trace).
+  EXPECT_NE(content.find("\"route\":\"query\""), std::string::npos)
+      << content;
+  EXPECT_NE(content.find("\"route\":\"stream\""), std::string::npos);
+  EXPECT_NE(content.find("\"query\":\"SLICE sa=sex=F\""), std::string::npos);
+  EXPECT_NE(content.find("\"trace\":{\"trace_id\":\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"execute\""), std::string::npos);
+
+  // But the envelope stays clean: forced tracing is not ?debug=trace.
+  auto resp = fx.Call("POST", "/query", "SLICE sa=sex=F");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body.find("\"trace\""), std::string::npos);
+
+  // The counter moved.
+  auto metrics = fx.Call("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  // Match the sample line, not the "# HELP scubed_slow_queries_total …"
+  // comment that precedes it.
+  size_t at = metrics->body.find("\nscubed_slow_queries_total ");
+  ASSERT_NE(at, std::string::npos);
+  int slow = std::atoi(metrics->body.c_str() + at +
+                       std::string("\nscubed_slow_queries_total ").size());
+  EXPECT_GE(slow, 3);
+  // The log holds the sink pointer: close only after the server stopped.
+  fx.server.Stop();
+  std::fclose(sink);
 }
 
 TEST(ScubedTest, HealthzAnswers) {
