@@ -25,6 +25,27 @@
 //                     enabled — slow-query-log candidates are traced)
 //   --demo            build + publish the demo cubes before serving
 //
+// Sharded serving (see src/cluster/): N shard processes each hold one
+// partition of every cube, a router process fans queries out and k-way
+// merges the shard streams back into the exact single-node answer.
+//
+//   --shard-index I   with --demo: publish only shard I of the partitioned
+//   --shard-count N   demo cubes (context-hash partitioning, ghost cells
+//                     included); requires 0 <= I < N
+//   --partition P     partitioning strategy: hash (default) or range
+//   --shards SPEC     router mode: no local cubes; scatter every query to
+//                     the listed shard backends. SPEC is host:port pairs,
+//                     comma-separated between shards, '|'-separated
+//                     between replicas of one shard:
+//                       --shards localhost:7101,localhost:7102
+//                       --shards a:7101|b:7101,a:7102|b:7102
+//
+//   # 3-shard demo topology on one machine:
+//   ./scubed --demo --port 7101 --shard-index 0 --shard-count 3 &
+//   ./scubed --demo --port 7102 --shard-index 1 --shard-count 3 &
+//   ./scubed --demo --port 7103 --shard-index 2 --shard-count 3 &
+//   ./scubed --port 8080 --shards localhost:7101,localhost:7102,localhost:7103
+//
 // Talk to it:
 //   curl localhost:8080/healthz
 //   curl -X POST localhost:8080/query --data 'TOPK 5 BY dissimilarity WHERE T >= 30'
@@ -47,6 +68,9 @@
 #include <ctime>
 #include <string>
 
+#include "cluster/partition.h"
+#include "cluster/scatter.h"
+#include "cluster/shard_client.h"
 #include "datagen/scenarios.h"
 #include "query/cube_store.h"
 #include "query/service.h"
@@ -61,8 +85,47 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
 
-bool BuildAndPublishDemo(query::QueryService* service, double scale,
+void WaitForSignal() {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    struct timespec ts = {0, 100 * 1000 * 1000};  // 100 ms
+    nanosleep(&ts, nullptr);
+  }
+}
+
+/// \brief Which slice of each demo cube this process serves.
+struct ShardConfig {
+  size_t index = 0;
+  size_t count = 1;  ///< 1 = unsharded (publish the whole cube)
+  cluster::PartitionStrategy strategy = cluster::PartitionStrategy::kHash;
+};
+
+/// Publishes `cube` — whole, or just this process's partition of it.
+void PublishMaybeSharded(query::QueryService* service, const char* name,
+                         cube::SegregationCube cube, const ShardConfig& shard,
                          size_t build_threads) {
+  if (shard.count <= 1) {
+    std::printf("cube '%s': %zu cells (%zu defined)\n", name, cube.NumCells(),
+                cube.NumDefinedCells());
+    service->PublishAndWarm(name, std::move(cube));
+    return;
+  }
+  cube::CubeView view = std::move(cube).Seal(build_threads);
+  cluster::PartitionOptions options;
+  options.num_shards = shard.count;
+  options.strategy = shard.strategy;
+  cluster::PartitionStats stats;
+  std::vector<cube::SegregationCube> shards =
+      cluster::PartitionCube(view, options, &stats);
+  std::printf("cube '%s': shard %zu/%zu owns %zu cells (+%zu ghosts)\n", name,
+              shard.index, shard.count, stats.owned[shard.index],
+              stats.ghosts[shard.index]);
+  service->PublishAndWarm(name, std::move(shards[shard.index]));
+}
+
+bool BuildAndPublishDemo(query::QueryService* service, double scale,
+                         size_t build_threads, const ShardConfig& shard) {
   auto scenario = datagen::GenerateScenario(datagen::ItalianConfig(scale));
   if (!scenario.ok()) {
     std::fprintf(stderr, "scenario: %s\n",
@@ -86,9 +149,8 @@ bool BuildAndPublishDemo(query::QueryService* service, double scale,
     std::fprintf(stderr, "pipeline: %s\n", result.status().ToString().c_str());
     return false;
   }
-  std::printf("cube 'default': %zu cells (%zu defined)\n",
-              result->cube.NumCells(), result->cube.NumDefinedCells());
-  service->PublishAndWarm("default", std::move(result->cube));
+  PublishMaybeSharded(service, "default", std::move(result->cube), shard,
+                      build_threads);
 
   // Cube "sectors": industry sector as the unit.
   pipeline::PipelineConfig sectors;
@@ -105,10 +167,8 @@ bool BuildAndPublishDemo(query::QueryService* service, double scale,
                  sector_result.status().ToString().c_str());
     return false;
   }
-  std::printf("cube 'sectors': %zu cells (%zu defined)\n",
-              sector_result->cube.NumCells(),
-              sector_result->cube.NumDefinedCells());
-  service->PublishAndWarm("sectors", std::move(sector_result->cube));
+  PublishMaybeSharded(service, "sectors", std::move(sector_result->cube),
+                      shard, build_threads);
   return true;
 }
 
@@ -124,6 +184,8 @@ int main(int argc, char** argv) {
   double scale = 0.002;
   size_t build_threads = 1;
   bool demo = false;
+  ShardConfig shard;
+  std::string shards_spec;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -160,6 +222,23 @@ int main(int argc, char** argv) {
       server_options.trace_all = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--shard-index") == 0) {
+      shard.index = static_cast<size_t>(std::atol(next("--shard-index")));
+    } else if (std::strcmp(argv[i], "--shard-count") == 0) {
+      shard.count = static_cast<size_t>(std::atol(next("--shard-count")));
+    } else if (std::strcmp(argv[i], "--partition") == 0) {
+      const char* strategy = next("--partition");
+      if (std::strcmp(strategy, "hash") == 0) {
+        shard.strategy = cluster::PartitionStrategy::kHash;
+      } else if (std::strcmp(strategy, "range") == 0) {
+        shard.strategy = cluster::PartitionStrategy::kRange;
+      } else {
+        std::fprintf(stderr, "--partition must be hash or range, got %s\n",
+                     strategy);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards_spec = next("--shards");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -170,10 +249,55 @@ int main(int argc, char** argv) {
     return 2;
   }
   server_options.port = static_cast<uint16_t>(port);
+  if (shard.count == 0 || shard.index >= shard.count) {
+    std::fprintf(stderr, "--shard-index %zu out of range for --shard-count "
+                 "%zu\n", shard.index, shard.count);
+    return 2;
+  }
+
+  // --- router mode: no local cubes, every query scatters to the shards.
+  if (!shards_spec.empty()) {
+    if (demo || shard.count > 1) {
+      std::fprintf(stderr,
+                   "--shards is a pure router mode; it excludes --demo and "
+                   "--shard-index/--shard-count\n");
+      return 2;
+    }
+    auto topology = cluster::ParseShardList(shards_spec);
+    if (!topology.ok()) {
+      std::fprintf(stderr, "--shards: %s\n",
+                   topology.status().ToString().c_str());
+      return 2;
+    }
+    cluster::ScatterOptions scatter_options;
+    scatter_options.default_deadline_ms = service_options.default_deadline_ms;
+    cluster::ScatterExecutor scatter(std::move(topology).value(),
+                                     scatter_options);
+    server::ScubedServer server(&scatter, server_options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("scubed router listening on port %u (%zu shards, default "
+                "deadline %.0f ms)\n",
+                server.port(), scatter.num_shards(),
+                scatter_options.default_deadline_ms);
+    std::printf("  curl localhost:%u/cubes\n", server.port());
+    std::printf("  curl -X POST localhost:%u/query --data 'TOPK 5 BY "
+                "dissimilarity WHERE T >= 30'\n", server.port());
+    std::fflush(stdout);
+    WaitForSignal();
+    std::printf("shutting down\n");
+    server.Stop();
+    return 0;
+  }
 
   query::CubeStore store;
   query::QueryService service(&store, service_options);
-  if (demo && !BuildAndPublishDemo(&service, scale, build_threads)) return 1;
+  if (demo && !BuildAndPublishDemo(&service, scale, build_threads, shard)) {
+    return 1;
+  }
 
   server::ScubedServer server(&service, &store, server_options);
   Status started = server.Start();
@@ -186,17 +310,19 @@ int main(int argc, char** argv) {
               server.port(), service.options().num_workers,
               service.options().max_pending,
               service.options().default_deadline_ms);
+  if (shard.count > 1) {
+    std::printf("  serving shard %zu of %zu (%s partitioning)\n", shard.index,
+                shard.count,
+                shard.strategy == cluster::PartitionStrategy::kHash
+                    ? "hash"
+                    : "range");
+  }
   std::printf("  curl localhost:%u/healthz\n", server.port());
   std::printf("  curl -X POST localhost:%u/query --data 'TOPK 5 BY "
               "dissimilarity WHERE T >= 30'\n", server.port());
   std::fflush(stdout);
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-  while (!g_stop) {
-    struct timespec ts = {0, 100 * 1000 * 1000};  // 100 ms
-    nanosleep(&ts, nullptr);
-  }
+  WaitForSignal();
   std::printf("shutting down\n");
   server.Stop();
   service.Shutdown();

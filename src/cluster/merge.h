@@ -1,0 +1,65 @@
+// K-way ranked merge over shard row streams.
+//
+// Each shard emits its rows in the single-node emission order, stamped
+// with order-preserving merge keys (query/merge_key.h): lexicographic
+// byte order of keys equals emission order for every verb. Because the
+// partitioner makes each shard's stream an exact disjoint subsequence of
+// the global stream, popping the smallest key across shards reproduces
+// the global stream exactly — this heap is the whole merge.
+//
+// Ties cannot occur between shards (natural keys embed the cell
+// coordinate, and shards own disjoint cells); the shard-index tie-break
+// exists so the order is total even if that invariant were violated.
+
+#ifndef SCUBE_CLUSTER_MERGE_H_
+#define SCUBE_CLUSTER_MERGE_H_
+
+#include <cstddef>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scube {
+namespace cluster {
+
+/// \brief Min-heap of (merge key, source index): Pop returns the source
+/// holding the globally next row. Push the source's next key after
+/// consuming the popped row; stop pushing when the source is exhausted.
+class KWayMerger {
+ public:
+  void Push(size_t source, std::string key) {
+    heap_.push(Entry{std::move(key), source});
+  }
+
+  /// The source whose current row is globally next (smallest key, ties to
+  /// the lowest source index). Undefined when empty().
+  size_t Pop() {
+    size_t source = heap_.top().source;
+    heap_.pop();
+    return source;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    size_t source = 0;
+  };
+  struct Later {
+    // priority_queue keeps the *largest* on top, so "later than" orders
+    // the smallest (key, source) to the top.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.source > b.source;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace cluster
+}  // namespace scube
+
+#endif  // SCUBE_CLUSTER_MERGE_H_

@@ -1,0 +1,103 @@
+#include "cluster/partition.h"
+
+#include <algorithm>
+
+namespace scube {
+namespace cluster {
+
+uint64_t ContextFingerprint(const fpm::Itemset& ca) {
+  // FNV-1a 64-bit, bytes fed as 4 little-endian bytes per item id. The
+  // itemset is stored sorted, so equal sets always feed equal bytes.
+  uint64_t h = 1469598103934665603ull;
+  for (fpm::ItemId item : ca.items()) {
+    uint32_t v = static_cast<uint32_t>(item);
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (v >> shift) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+size_t ShardOfContext(const fpm::Itemset& ca, const PartitionOptions& options,
+                      size_t universe) {
+  const size_t n = std::max<size_t>(1, options.num_shards);
+  if (n == 1) return 0;
+  switch (options.strategy) {
+    case PartitionStrategy::kHash:
+      return static_cast<size_t>(ContextFingerprint(ca) % n);
+    case PartitionStrategy::kRange: {
+      // Contiguous buckets of the first (smallest) CA item id. The empty
+      // context — the cube apex and every pure-SA cell — goes to shard 0.
+      if (ca.empty()) return 0;
+      const size_t u = std::max<size_t>(1, universe);
+      size_t first = std::min<size_t>(static_cast<size_t>(ca[0]), u - 1);
+      return first * n / u;
+    }
+  }
+  return 0;
+}
+
+std::vector<cube::SegregationCube> PartitionCube(
+    const cube::CubeView& view, const PartitionOptions& options,
+    PartitionStats* stats) {
+  const size_t n = std::max<size_t>(1, options.num_shards);
+  const size_t universe = view.catalog().size();
+
+  std::vector<cube::SegregationCube> shards;
+  shards.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    shards.emplace_back(view.catalog(), view.unit_labels());
+  }
+  if (stats != nullptr) {
+    stats->owned.assign(n, 0);
+    stats->ghosts.assign(n, 0);
+  }
+
+  // Ownership per cell id, computed once — the ghost pass reuses it.
+  const auto cells = view.Cells();
+  std::vector<uint32_t> owner(cells.size());
+  for (size_t id = 0; id < cells.size(); ++id) {
+    owner[id] = static_cast<uint32_t>(
+        ShardOfContext(cells[id].coords.ca, options, universe));
+  }
+
+  // Pass 1: every cell goes to its owner, ghost flag cleared.
+  for (size_t id = 0; id < cells.size(); ++id) {
+    cube::CubeCell copy = cells[id];
+    copy.ghost = false;
+    if (stats != nullptr) ++stats->owned[owner[id]];
+    shards[owner[id]].Insert(std::move(copy));
+  }
+
+  // Pass 2: one-hop ghost closure across the CA axis. SA-axis neighbours
+  // share the cell's CA and are therefore already shard-local; only
+  // CA-removal parents and CA-extension children can live elsewhere.
+  auto replicate = [&](size_t into, const cube::CubeCell& cell) {
+    // Insert replaces, so never overwrite the shard's own copy; a ghost
+    // inserted twice is harmless (identical payload).
+    if (shards[into].Find(cell.coords) != nullptr) return;
+    cube::CubeCell copy = cell;
+    copy.ghost = true;
+    if (stats != nullptr) ++stats->ghosts[into];
+    shards[into].Insert(std::move(copy));
+  };
+  for (cube::CubeView::CellId id = 0; id < cells.size(); ++id) {
+    const cube::CubeCell& cell = cells[id];
+    const size_t home = owner[id];
+    for (cube::CubeView::CellId pid : view.Parents(id)) {
+      if (owner[pid] != home) replicate(home, view.cell(pid));
+      // The parent's shard also needs this cell: it is the parent's
+      // CA-extension child (ROLLUP anchors there, REVERSALS compares it).
+      if (owner[pid] != home) replicate(owner[pid], cell);
+    }
+    // Children: the child edge is the parent edge seen from the other
+    // end, so the loop above already replicated both directions — every
+    // (parent, child) pair is visited once with id = child.
+  }
+
+  return shards;
+}
+
+}  // namespace cluster
+}  // namespace scube

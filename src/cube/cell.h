@@ -53,6 +53,14 @@ struct CubeCell {
 
   /// Convenience accessor; only meaningful when indexes.defined.
   double Value(indexes::IndexKind kind) const { return indexes[kind]; }
+
+  /// Shard-replica marker (cluster/partition.h): a ghost is a copy of a
+  /// cell owned by another shard, replicated so adjacency-based analytics
+  /// (SURPRISES/REVERSALS) see their cross-shard comparison neighbours.
+  /// Ghosts participate in every index and adjacency walk but are never
+  /// emitted as query results — each global cell is emitted by exactly
+  /// one shard. Always false outside sharded deployments.
+  bool ghost = false;
 };
 
 }  // namespace cube

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <ctime>
 
 #include "common/string_util.h"
 
@@ -349,70 +351,93 @@ constexpr size_t kMaxChunkBytes = 256 * 1024 * 1024;
 /// grow the client's memory without limit either.
 constexpr size_t kMaxChunkedBodyBytes = 1024 * 1024 * 1024;
 
-/// Decodes a chunked body: size-line / payload pairs until the 0 chunk,
-/// then trailer headers (folded into `headers`) up to the blank line.
+/// Decodes a chunked body by looping the incremental reader: size-line /
+/// payload pairs until the 0 chunk, then trailer headers (folded into
+/// `headers`) up to the blank line.
 Status ReadChunkedBody(BufferedReader* reader, std::string* body,
                        std::map<std::string, std::string>* headers) {
+  ChunkedBodyReader chunks(reader);
   while (true) {
-    auto size_line = reader->ReadLine();
-    if (!size_line.ok()) return size_line.status();
-    // Chunk extensions ("1a;name=value") are tolerated and ignored.
-    std::string_view digits(*size_line);
-    size_t semi = digits.find(';');
-    if (semi != std::string_view::npos) digits = digits.substr(0, semi);
-    digits = Trim(digits);
-    if (digits.empty()) {
-      return Status::ParseError("empty chunk size line");
-    }
-    auto parsed = ParseHexU64(digits);
-    if (!parsed.ok()) {
-      // A value overflowing uint64 must not wrap (wrapping to 0 would
-      // read as the terminal chunk and misframe the rest of the stream).
-      return digits.size() > 16
-                 ? Status::ParseError("chunk size too large: " + *size_line)
-                 : Status::ParseError("bad chunk size: " + *size_line);
-    }
-    if (*parsed > kMaxChunkBytes) {
-      return Status::ParseError("chunk size too large: " + *size_line);
-    }
-    size_t size = static_cast<size_t>(*parsed);
-    if (size == 0) break;
-    if (body->size() + size > kMaxChunkedBodyBytes) {
+    auto more = chunks.ReadSome(body);
+    if (!more.ok()) return more.status();
+    if (body->size() > kMaxChunkedBodyBytes) {
       return Status::ParseError("chunked body exceeds " +
                                 std::to_string(kMaxChunkedBodyBytes) +
                                 " bytes");
     }
-    SCUBE_RETURN_IF_ERROR(reader->ReadExactAppend(size, body));
-    // The CRLF that terminates the chunk payload.
-    auto crlf = reader->ReadLine();
-    if (!crlf.ok()) return crlf.status();
-    if (!crlf->empty()) {
-      return Status::ParseError("chunk payload not followed by CRLF");
-    }
+    if (!*more) break;
   }
-  // Trailer section: header lines until the blank line. Trailers never
-  // overwrite headers already parsed from the header section (RFC 7230
-  // §4.1.2 forbids framing/control fields there — a trailer saying
-  // "Content-Length: 0" must not clobber the real framing).
-  for (size_t i = 0; i < kMaxHeaderLines; ++i) {
-    auto line = reader->ReadLine();
-    if (!line.ok()) return line.status();
-    if (line->empty()) return Status::OK();
-    size_t colon = line->find(':');
-    if (colon == std::string::npos) continue;
-    std::string name = ToLower(Trim(std::string_view(*line).substr(0, colon)));
-    headers->emplace(
-        name, std::string(Trim(std::string_view(*line).substr(colon + 1))));
+  // Trailers never overwrite headers already parsed from the header
+  // section (RFC 7230 §4.1.2 forbids framing/control fields there — a
+  // trailer saying "Content-Length: 0" must not clobber the real framing).
+  for (const auto& [name, value] : chunks.trailers()) {
+    headers->emplace(name, value);
   }
-  return Status::ParseError("more than " + std::to_string(kMaxHeaderLines) +
-                            " trailer lines");
+  return Status::OK();
 }
 
 }  // namespace
 
-Result<HttpClientResponse> ReadHttpResponseAfterStatusLine(
-    BufferedReader* reader, const std::string& status_line) {
-  HttpClientResponse resp;
+Result<bool> ChunkedBodyReader::ReadSome(std::string* out) {
+  if (done_) return Result<bool>(false);
+  auto size_line = reader_->ReadLine();
+  if (!size_line.ok()) return size_line.status();
+  // Chunk extensions ("1a;name=value") are tolerated and ignored.
+  std::string_view digits(*size_line);
+  size_t semi = digits.find(';');
+  if (semi != std::string_view::npos) digits = digits.substr(0, semi);
+  digits = Trim(digits);
+  if (digits.empty()) {
+    return Status::ParseError("empty chunk size line");
+  }
+  auto parsed = ParseHexU64(digits);
+  if (!parsed.ok()) {
+    // A value overflowing uint64 must not wrap (wrapping to 0 would read
+    // as the terminal chunk and misframe the rest of the stream).
+    return digits.size() > 16
+               ? Status::ParseError("chunk size too large: " + *size_line)
+               : Status::ParseError("bad chunk size: " + *size_line);
+  }
+  if (*parsed > kMaxChunkBytes) {
+    return Status::ParseError("chunk size too large: " + *size_line);
+  }
+  size_t size = static_cast<size_t>(*parsed);
+  if (size == 0) {
+    // Trailer section: header lines until the blank line.
+    for (size_t i = 0; i < kMaxHeaderLines; ++i) {
+      auto line = reader_->ReadLine();
+      if (!line.ok()) return line.status();
+      if (line->empty()) {
+        done_ = true;
+        return Result<bool>(false);
+      }
+      size_t colon = line->find(':');
+      if (colon == std::string::npos) continue;
+      std::string name =
+          ToLower(Trim(std::string_view(*line).substr(0, colon)));
+      trailers_.emplace(
+          name, std::string(Trim(std::string_view(*line).substr(colon + 1))));
+    }
+    return Status::ParseError("more than " + std::to_string(kMaxHeaderLines) +
+                              " trailer lines");
+  }
+  SCUBE_RETURN_IF_ERROR(reader_->ReadExactAppend(size, out));
+  // The CRLF that terminates the chunk payload.
+  auto crlf = reader_->ReadLine();
+  if (!crlf.ok()) return crlf.status();
+  if (!crlf->empty()) {
+    return Status::ParseError("chunk payload not followed by CRLF");
+  }
+  return Result<bool>(true);
+}
+
+namespace {
+
+/// Parses the status line + header section into a response head; the
+/// reader ends up positioned at the first body byte.
+Status ParseResponseHead(BufferedReader* reader,
+                         const std::string& status_line,
+                         HttpResponseHead* head) {
   // "HTTP/1.1 200 OK"
   size_t sp1 = status_line.find(' ');
   if (sp1 == std::string::npos || status_line.rfind("HTTP/", 0) != 0) {
@@ -422,11 +447,8 @@ Result<HttpClientResponse> ReadHttpResponseAfterStatusLine(
   if (!code.ok()) {
     return Status::ParseError("malformed status line: " + status_line);
   }
-  resp.status = static_cast<int>(*code);
+  head->status = static_cast<int>(*code);
 
-  bool have_length = false;
-  bool chunked = false;
-  size_t length = 0;
   for (size_t i = 0; i < kMaxHeaderLines; ++i) {
     auto line = reader->ReadLine();
     if (!line.ok()) return line.status();
@@ -438,21 +460,41 @@ Result<HttpClientResponse> ReadHttpResponseAfterStatusLine(
     if (name == "content-length") {
       auto n = ParseInt64(value);
       if (n.ok() && *n >= 0) {
-        have_length = true;
-        length = static_cast<size_t>(*n);
+        head->have_length = true;
+        head->length = static_cast<size_t>(*n);
       }
     } else if (name == "transfer-encoding" &&
                ToLower(value).find("chunked") != std::string::npos) {
-      chunked = true;
+      head->chunked = true;
     }
-    resp.headers[name] = std::move(value);
+    head->headers[name] = std::move(value);
   }
+  return Status::OK();
+}
 
-  if (chunked) {
+}  // namespace
+
+Result<HttpResponseHead> ReadHttpResponseHead(BufferedReader* reader) {
+  auto status_line = reader->ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  HttpResponseHead head;
+  SCUBE_RETURN_IF_ERROR(ParseResponseHead(reader, *status_line, &head));
+  return head;
+}
+
+Result<HttpClientResponse> ReadHttpResponseAfterStatusLine(
+    BufferedReader* reader, const std::string& status_line) {
+  HttpResponseHead head;
+  SCUBE_RETURN_IF_ERROR(ParseResponseHead(reader, status_line, &head));
+  HttpClientResponse resp;
+  resp.status = head.status;
+  resp.headers = std::move(head.headers);
+
+  if (head.chunked) {
     SCUBE_RETURN_IF_ERROR(
         ReadChunkedBody(reader, &resp.body, &resp.headers));
-  } else if (have_length) {
-    SCUBE_RETURN_IF_ERROR(reader->ReadExact(length, &resp.body));
+  } else if (head.have_length) {
+    SCUBE_RETURN_IF_ERROR(reader->ReadExact(head.length, &resp.body));
   } else {
     // Read to EOF (Connection: close responses).
     while (!reader->AtEof()) {
@@ -484,6 +526,78 @@ Result<HttpClientResponse> RoundTrip(Socket* socket, BufferedReader* reader,
   request += body;
   SCUBE_RETURN_IF_ERROR(socket->WriteAll(request));
   return ReadHttpResponse(reader);
+}
+
+namespace {
+
+void SleepMillis(int ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+Status OpenClientConnection(const std::string& host, uint16_t port,
+                            const ClientOptions& options,
+                            ClientConnection* conn) {
+  conn->Reset();
+  auto socket = ConnectWithTimeout(host, port, options.connect_timeout_s);
+  if (!socket.ok()) return socket.status();
+  conn->socket = std::move(socket).value();
+  if (options.read_timeout_s > 0) {
+    SCUBE_RETURN_IF_ERROR(conn->socket.SetRecvTimeout(options.read_timeout_s));
+  }
+  (void)conn->socket.SetNoDelay();  // best effort: latency, not correctness
+  conn->reader = std::make_unique<BufferedReader>(&conn->socket);
+  return Status::OK();
+}
+
+Result<HttpClientResponse> RoundTripWithRetry(
+    ClientConnection* conn, const std::string& host, uint16_t port,
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type,
+    const ClientOptions& options) {
+  const int attempts = std::max(1, options.max_attempts);
+  int backoff_ms = std::max(1, options.backoff_initial_ms);
+  Status last = Status::IoError("no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      SleepMillis(backoff_ms);
+      backoff_ms = std::min(backoff_ms * 2, std::max(1, options.backoff_max_ms));
+    }
+    const bool reused = conn->valid();
+    if (!reused) {
+      Status opened = OpenClientConnection(host, port, options, conn);
+      if (!opened.ok()) {
+        last = std::move(opened);
+        continue;
+      }
+    }
+    auto resp = RoundTrip(&conn->socket, conn->reader.get(), method, target,
+                          body, content_type);
+    if (resp.ok()) return resp;
+    last = resp.status();
+    conn->Reset();
+    if (reused) {
+      // A keep-alive connection the peer closed between requests fails on
+      // the first read — that is staleness, not backend trouble, so
+      // reconnect and resend immediately without consuming an attempt.
+      Status opened = OpenClientConnection(host, port, options, conn);
+      if (!opened.ok()) {
+        last = std::move(opened);
+        continue;
+      }
+      auto retry = RoundTrip(&conn->socket, conn->reader.get(), method,
+                             target, body, content_type);
+      if (retry.ok()) return retry;
+      last = retry.status();
+      conn->Reset();
+    }
+  }
+  return last;
 }
 
 }  // namespace net

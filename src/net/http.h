@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -212,6 +213,104 @@ Result<HttpClientResponse> RoundTrip(Socket* socket, BufferedReader* reader,
                                      const std::string& body = "",
                                      const std::string& content_type =
                                          "text/plain");
+
+/// \brief Client-side timeouts and retry policy (shard client pool).
+struct ClientOptions {
+  /// Bound on establishing a TCP connection (ConnectWithTimeout).
+  double connect_timeout_s = 5.0;
+
+  /// Receive timeout applied to the connection (SetRecvTimeout); bounds
+  /// every read of the response. 0 = unbounded.
+  double read_timeout_s = 10.0;
+
+  /// Total tries per round trip (1 = no retry). Retries reconnect: a
+  /// request that failed mid-transport leaves the connection desynced.
+  int max_attempts = 3;
+
+  /// Exponential backoff between retries, doubling from `initial` and
+  /// capped at `max`.
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 1000;
+};
+
+/// \brief A pooled keep-alive client connection: the socket plus its
+/// buffered reader (they must live and die together — the reader may hold
+/// read-ahead bytes and points at the socket, so the struct must stay at
+/// a fixed address while connected; pools hold it by unique_ptr). Invalid
+/// when not yet connected or torn down after a transport error.
+struct ClientConnection {
+  Socket socket;
+  std::unique_ptr<BufferedReader> reader;
+
+  ClientConnection() = default;
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  bool valid() const { return socket.valid() && reader != nullptr; }
+  void Reset() {
+    reader.reset();
+    socket.Close();
+  }
+};
+
+/// Connects `conn` in place per `options` (connect timeout, read timeout,
+/// TCP_NODELAY) and wires up its reader. Any previous connection is torn
+/// down first.
+Status OpenClientConnection(const std::string& host, uint16_t port,
+                            const ClientOptions& options,
+                            ClientConnection* conn);
+
+/// RoundTrip with connection management, timeouts and bounded
+/// retry-with-backoff. Reuses `*conn` when connected (keep-alive),
+/// (re)establishing it as needed; on transport failure the connection is
+/// torn down and the attempt repeated on a fresh one after backoff, up to
+/// options.max_attempts. A stale keep-alive connection (peer closed it
+/// between requests) reconnects immediately without consuming an attempt.
+/// Safe for scubed's read-only /query, /cubes and /metrics round trips —
+/// re-sending them cannot double-apply anything.
+Result<HttpClientResponse> RoundTripWithRetry(
+    ClientConnection* conn, const std::string& host, uint16_t port,
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type,
+    const ClientOptions& options);
+
+/// \brief Everything before a response body: status, headers, framing.
+struct HttpResponseHead {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  bool chunked = false;      ///< Transfer-Encoding: chunked
+  bool have_length = false;  ///< Content-Length present
+  size_t length = 0;
+};
+
+/// Reads status line + headers, leaving the reader positioned at the
+/// first body byte. The streaming scatter client reads the head, then
+/// pulls body bytes incrementally through ChunkedBodyReader.
+Result<HttpResponseHead> ReadHttpResponseHead(BufferedReader* reader);
+
+/// \brief Incremental chunked-body decoder: one chunk per ReadSome call,
+/// so a client can consume an arbitrarily long streamed response in O(1)
+/// memory (the batch ReadHttpResponse materialises the whole body).
+class ChunkedBodyReader {
+ public:
+  explicit ChunkedBodyReader(BufferedReader* reader) : reader_(reader) {}
+
+  /// Appends the next chunk's payload to `out`. Returns false once the
+  /// terminal chunk (and trailer section) has been consumed — the
+  /// connection then sits exactly at the message boundary, reusable for
+  /// keep-alive. Trailer headers are folded into trailers().
+  Result<bool> ReadSome(std::string* out);
+
+  bool done() const { return done_; }
+  const std::map<std::string, std::string>& trailers() const {
+    return trailers_;
+  }
+
+ private:
+  BufferedReader* reader_;
+  std::map<std::string, std::string> trailers_;
+  bool done_ = false;
+};
 
 }  // namespace net
 }  // namespace scube

@@ -1,13 +1,16 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -203,6 +206,100 @@ Result<Socket> Connect(const std::string& host, uint16_t port) {
     ::close(fd);
   }
   ::freeaddrinfo(res);
+  return last;
+}
+
+namespace {
+
+/// One non-blocking connect attempt to a resolved address, polled up to
+/// `timeout_ms`. Returns the connected fd, or -1 with `*error` set.
+int ConnectOneWithTimeout(struct addrinfo* ai, int timeout_ms,
+                          Status* error) {
+  int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+  if (fd < 0) {
+    *error = Status::IoError(Errno("socket"));
+    return -1;
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    *error = Status::IoError(Errno("fcntl"));
+    ::close(fd);
+    return -1;
+  }
+  int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+  if (rc != 0 && errno != EINPROGRESS) {
+    *error = Status::IoError(Errno("connect"));
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      *error = Status::DeadlineExceeded("connect timed out");
+      ::close(fd);
+      return -1;
+    }
+    if (rc < 0) {
+      *error = Status::IoError(Errno("poll"));
+      ::close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
+        soerr != 0) {
+      errno = soerr != 0 ? soerr : errno;
+      *error = Status::IoError(Errno("connect"));
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Back to blocking: Read/WriteAll expect it (read timeouts come from
+  // SetRecvTimeout, not O_NONBLOCK).
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    *error = Status::IoError(Errno("fcntl"));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<Socket> ConnectWithTimeout(const std::string& host, uint16_t port,
+                                  double timeout_s) {
+  if (timeout_s <= 0) return Connect(host, port);
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    return Status::IoError("getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+  const int timeout_ms =
+      static_cast<int>(std::lround(std::max(1.0, timeout_s * 1000.0)));
+  Status last = Status::IoError("no addresses for " + host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ConnectOneWithTimeout(ai, timeout_ms, &last);
+    if (fd >= 0) {
+      ::freeaddrinfo(res);
+      return Socket(fd);
+    }
+  }
+  ::freeaddrinfo(res);
+  if (!last.ok() && last.code() != StatusCode::kDeadlineExceeded) {
+    last = Status::IoError("connect to " + host + ":" +
+                           std::to_string(port) + ": " + last.message());
+  }
   return last;
 }
 

@@ -99,6 +99,15 @@ class ListenSocket {
 /// Connects to `host:port` (numeric IPv4 or a resolvable name).
 Result<Socket> Connect(const std::string& host, uint16_t port);
 
+/// Connect bounded by a wall-clock timeout: non-blocking connect + poll,
+/// the socket handed back in blocking mode. DeadlineExceeded when the
+/// timeout passes before the connection establishes; `timeout_s <= 0`
+/// degrades to the blocking Connect. The shard client pool uses this so
+/// one dead backend cannot stall a whole scatter fan-out for the kernel's
+/// multi-minute SYN retry budget.
+Result<Socket> ConnectWithTimeout(const std::string& host, uint16_t port,
+                                  double timeout_s);
+
 }  // namespace net
 }  // namespace scube
 

@@ -31,6 +31,18 @@ struct QueryContext {
   /// TraceContext alive for the request's duration.
   trace::TraceContext* trace = nullptr;
 
+  /// Stamp each emitted row with an order-preserving merge key
+  /// (ResultRow::skey, see query/merge_key.h). Set by the shard-side wire
+  /// route so a scatter-gather router can k-way merge shard streams back
+  /// into the exact single-node emission order. Costs a small allocation
+  /// per row; off for ordinary requests.
+  bool merge_keys = false;
+
+  /// Scatter-gather only (?allow_partial=1): analytic verbs may answer
+  /// from the shards that responded when one shard fails, instead of
+  /// failing the whole request. Ignored by single-node backends.
+  bool allow_partial = false;
+
   /// A context whose deadline is `ms` milliseconds from now. Non-positive
   /// `ms` yields an already-expired context (useful in tests).
   static QueryContext WithTimeout(double ms) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "query/executor.h"
+
 namespace scube {
 namespace query {
 
@@ -14,10 +16,20 @@ uint64_t CubeStore::Publish(const std::string& name,
   auto snapshot = std::make_shared<const cube::CubeView>(
       std::move(cube).Seal(num_threads));
   seal_span.End();
+  // One Executor per sealed version, built here so the serving paths stop
+  // rebuilding the O(catalog) item index per request/chunk/page. The
+  // deleter captures the snapshot: handing the executor out alone keeps
+  // the view it references alive.
+  trace::Span index_span(trace, "build.executor_index");
+  std::shared_ptr<const Executor> executor(
+      new Executor(*snapshot),
+      [snapshot](const Executor* e) { delete e; });
+  index_span.End();
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   uint64_t version = ++entry.latest;
-  entry.versions.emplace_back(version, std::move(snapshot));
+  entry.versions.push_back(
+      SealedVersion{version, std::move(snapshot), std::move(executor)});
   while (entry.versions.size() > max_versions_) {
     entry.versions.pop_front();
   }
@@ -30,9 +42,9 @@ CubeStore::Snapshot CubeStore::Get(const std::string& name,
   auto it = entries_.find(name);
   bool found = it != entries_.end() && !it->second.versions.empty();
   if (version != nullptr) {
-    *version = found ? it->second.versions.back().first : 0;
+    *version = found ? it->second.versions.back().version : 0;
   }
-  return found ? it->second.versions.back().second : nullptr;
+  return found ? it->second.versions.back().view : nullptr;
 }
 
 CubeStore::Snapshot CubeStore::GetVersion(const std::string& name,
@@ -40,8 +52,19 @@ CubeStore::Snapshot CubeStore::GetVersion(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;
-  for (const auto& [v, snapshot] : it->second.versions) {
-    if (v == version) return snapshot;
+  for (const SealedVersion& sealed : it->second.versions) {
+    if (sealed.version == version) return sealed.view;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const Executor> CubeStore::GetExecutor(
+    const std::string& name, uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  for (const SealedVersion& sealed : it->second.versions) {
+    if (sealed.version == version) return sealed.executor;
   }
   return nullptr;
 }
@@ -59,7 +82,9 @@ std::vector<uint64_t> CubeStore::RetainedVersions(
   std::vector<uint64_t> out;
   if (it == entries_.end()) return out;
   out.reserve(it->second.versions.size());
-  for (const auto& [v, snapshot] : it->second.versions) out.push_back(v);
+  for (const SealedVersion& sealed : it->second.versions) {
+    out.push_back(sealed.version);
+  }
   return out;
 }
 

@@ -34,6 +34,8 @@
 namespace scube {
 namespace query {
 
+class Executor;
+
 /// \brief Named, versioned, immutable sealed-cube snapshots. Thread-safe.
 class CubeStore {
  public:
@@ -71,6 +73,16 @@ class CubeStore {
   /// is unknown or the version was evicted / never published.
   Snapshot GetVersion(const std::string& name, uint64_t version) const;
 
+  /// The shared Executor for one retained sealed version — built once at
+  /// publish time (the executor's attribute/value item index is O(catalog)
+  /// to construct, and was previously rebuilt per request/chunk/page).
+  /// The returned pointer keeps the underlying snapshot alive on its own,
+  /// so it stays valid after the version is evicted. Nullptr when the
+  /// name/version is unknown or already evicted (callers fall back to
+  /// constructing an executor from their snapshot).
+  std::shared_ptr<const Executor> GetExecutor(const std::string& name,
+                                              uint64_t version) const;
+
   /// Current version; 0 when absent.
   uint64_t Version(const std::string& name) const;
 
@@ -81,10 +93,16 @@ class CubeStore {
   std::vector<std::string> Names() const;
 
  private:
+  struct SealedVersion {
+    uint64_t version = 0;
+    Snapshot view;
+    /// Built at publish; its control block co-owns the snapshot.
+    std::shared_ptr<const Executor> executor;
+  };
   struct Entry {
     uint64_t latest = 0;
-    /// (version, view), ascending by version; at most max_versions_.
-    std::deque<std::pair<uint64_t, Snapshot>> versions;
+    /// Ascending by version; at most max_versions_.
+    std::deque<SealedVersion> versions;
   };
   const size_t max_versions_;
   mutable std::mutex mu_;

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/trace.h"
+#include "query/merge_key.h"
 
 namespace scube {
 namespace query {
@@ -48,19 +49,26 @@ cube::ExplorerOptions ExplorerOptionsFor(const Query& q) {
   return opts;
 }
 
+/// The ORDER BY sort key of one row; shared between SortRows and the
+/// merge-key prefix so shards and the single node can never disagree.
+double OrderKeyValue(const OrderBy& order, const ResultRow& row) {
+  switch (order.key) {
+    case OrderBy::Key::kContextSize:
+      return static_cast<double>(row.t);
+    case OrderBy::Key::kMinoritySize:
+      return static_cast<double>(row.m);
+    case OrderBy::Key::kIndex:
+      break;
+  }
+  return row.indexes[static_cast<size_t>(order.index)];
+}
+
+}  // namespace
+
 /// ORDER BY sort, identical to the pre-streaming materialised path.
+/// External linkage: the scatter-gather router re-sorts the merged
+/// global TOPK selection with this exact comparator (executor.h).
 void SortRows(const OrderBy& order, std::vector<ResultRow>* rows) {
-  auto key = [&order](const ResultRow& row) -> double {
-    switch (order.key) {
-      case OrderBy::Key::kContextSize:
-        return static_cast<double>(row.t);
-      case OrderBy::Key::kMinoritySize:
-        return static_cast<double>(row.m);
-      case OrderBy::Key::kIndex:
-        break;
-    }
-    return row.indexes[static_cast<size_t>(order.index)];
-  };
   std::stable_sort(rows->begin(), rows->end(),
                    [&](const ResultRow& a, const ResultRow& b) {
                      // Undefined cells sort last under index keys.
@@ -68,9 +76,28 @@ void SortRows(const OrderBy& order, std::vector<ResultRow>* rows) {
                          a.defined != b.defined) {
                        return a.defined;
                      }
-                     return order.descending ? key(a) > key(b)
-                                             : key(a) < key(b);
+                     return order.descending
+                                ? OrderKeyValue(order, a) > OrderKeyValue(order, b)
+                                : OrderKeyValue(order, a) < OrderKeyValue(order, b);
                    });
+}
+
+namespace {
+
+/// Rewrites each row's merge key as (ORDER BY sort key ++ natural walk
+/// key). stable_sort breaks ties by walk position, which is exactly the
+/// natural-key order, so the combined key reproduces the sorted stream.
+void PrefixOrderKeys(const OrderBy& order, std::vector<ResultRow>* rows) {
+  for (ResultRow& row : *rows) {
+    std::string key;
+    key.reserve(9 + row.skey.size());
+    if (order.key == OrderBy::Key::kIndex) {
+      key.push_back(row.defined ? '\x00' : '\x01');  // undefined sorts last
+    }
+    AppendDoubleKey(OrderKeyValue(order, row), order.descending, &key);
+    key += row.skey;
+    row.skey = std::move(key);
+  }
 }
 
 /// The verb-specific column layout, known before any row is produced.
@@ -187,6 +214,11 @@ bool RunSharedScan(const cube::CubeView& view,
   const size_t n = view.NumCells();
   for (cube::CubeView::CellId id = 0; id < n; ++id) {
     if (ticker.Tick()) return false;
+    // Ghost cells (shard replicas of cells owned elsewhere) are never
+    // analytic candidates — their owning shard reports them — but they
+    // stay in the view's adjacency, serving as comparison baselines for
+    // the owned cells evaluated here.
+    if (view.cell(id).ghost) continue;
     for (Prepared* p : scans) {
       const Query& q = *p->query;
       if (q.verb == Verb::kSurprises) {
@@ -254,9 +286,15 @@ class Pager {
 /// the factory builds the ResultRow, so consumers that discard the row
 /// (OFFSET skipping) never construct it. `scanned` counts inspected
 /// cells/candidates. DeadlineExceeded when the ticker fires mid-walk.
+///
+/// Ghost cells (shard replicas owned by another shard) are filtered at
+/// every emission site — each shard's stream is then an exact subsequence
+/// of the global stream, which is what makes per-shard LIMIT pushdown and
+/// merge-key stitching sound. `keys` (QueryContext::merge_keys) stamps
+/// each row with its order-preserving merge key (query/merge_key.h).
 template <typename Feed>
 Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
-                uint64_t* scanned, Feed&& feed) {
+                bool keys, uint64_t* scanned, Feed&& feed) {
   const Query& q = *p.query;
   auto expired = [] {
     return Status::DeadlineExceeded(
@@ -267,8 +305,12 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
     case Mode::kPoint: {
       const cube::CubeCell* cell = view.Find(p.sa, p.ca);
       *scanned = 1;
-      if (cell != nullptr && PassesWhere(*cell, q)) {
-        feed([&] { return MakeRow(view, *cell); });
+      if (cell != nullptr && !cell->ghost && PassesWhere(*cell, q)) {
+        feed([&] {
+          ResultRow row = MakeRow(view, *cell);
+          if (keys) AppendCoordKey(cell->coords, &row.skey);
+          return row;
+        });
       }
       return Status::OK();
     }
@@ -281,8 +323,12 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
         ++*scanned;
         if (ticker.Tick()) return expired();
         const cube::CubeCell& cell = view.cell(id);
-        if (PassesWhere(cell, q) &&
-            !feed([&] { return MakeRow(view, cell); })) {
+        if (cell.ghost) continue;
+        if (PassesWhere(cell, q) && !feed([&] {
+              ResultRow row = MakeRow(view, cell);
+              if (keys) AppendCoordKey(cell.coords, &row.skey);
+              return row;
+            })) {
           break;
         }
       }
@@ -295,7 +341,14 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
       for (const cube::CubeCell& cell : view.Cells()) {
         ++*scanned;
         if (ticker.Tick()) return expired();
-        if (!feed([&] { return MakeRow(view, cell); })) break;
+        if (cell.ghost) continue;
+        if (!feed([&] {
+              ResultRow row = MakeRow(view, cell);
+              if (keys) AppendCoordKey(cell.coords, &row.skey);
+              return row;
+            })) {
+          break;
+        }
       }
       return Status::OK();
     }
@@ -305,8 +358,12 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
           p.sa, p.ca, scanned,
           [&](cube::CubeView::CellId id) {
             const cube::CubeCell& cell = view.cell(id);
-            if (!PassesWhere(cell, q)) return true;
-            return feed([&] { return MakeRow(view, cell); });
+            if (cell.ghost || !PassesWhere(cell, q)) return true;
+            return feed([&] {
+              ResultRow row = MakeRow(view, cell);
+              if (keys) AppendCoordKey(cell.coords, &row.skey);
+              return row;
+            });
           },
           [&] { return !ticker.Tick(); });
       if (ticker.expired()) return expired();
@@ -320,11 +377,19 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
         ++*scanned;
         if (ticker.Tick()) return expired();
         const cube::CubeCell& cell = view.cell(id);
+        // Ghosts are skipped before the k cap: the shard's top-k are the
+        // k best *owned* cells, a superset of its share of the global
+        // top-k.
+        if (cell.ghost) continue;
         if (!cube::PassesExplorerFilters(cell, p.explorer)) continue;
         ++produced;
         bool keep = feed([&] {
           ResultRow row = MakeRow(view, cell);
           row.value = cell.Value(q.by);
+          if (keys) {
+            AppendDoubleKey(row.value, /*descending=*/true, &row.skey);
+            AppendCoordKey(cell.coords, &row.skey);
+          }
           return row;
         });
         if (!keep) break;
@@ -341,8 +406,30 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
         ++*scanned;
         if (ticker.Tick()) return expired();
         const cube::CubeCell& cell = view.cell(id);
-        if (PassesWhere(cell, q) &&
-            !feed([&] { return MakeRow(view, cell); })) {
+        if (cell.ghost) continue;
+        if (PassesWhere(cell, q) && !feed([&] {
+              ResultRow row = MakeRow(view, cell);
+              if (keys) {
+                if (p.mode == Mode::kRollup) {
+                  // Parents stream in item-removal order (SA items
+                  // ascending, then CA items ascending; absent parents
+                  // skipped): the key is the removal ordinal itself.
+                  fpm::Itemset removed_sa = p.sa.Minus(cell.coords.sa);
+                  if (!removed_sa.empty()) {
+                    row.skey.push_back('\x00');
+                    AppendItemKey(removed_sa[0], &row.skey);
+                  } else {
+                    fpm::Itemset removed_ca = p.ca.Minus(cell.coords.ca);
+                    row.skey.push_back('\x01');
+                    AppendItemKey(removed_ca.empty() ? 0 : removed_ca[0],
+                                  &row.skey);
+                  }
+                } else {
+                  AppendCoordKey(cell.coords, &row.skey);
+                }
+              }
+              return row;
+            })) {
           break;
         }
       }
@@ -361,6 +448,10 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
             row.value = f.value;
             row.aux = f.delta;
             row.aux2 = f.best_parent_value;
+            if (keys) {
+              AppendDoubleKey(f.delta, /*descending=*/true, &row.skey);
+              AppendCoordKey(f.cell->coords, &row.skey);
+            }
             return row;
           });
           if (!keep) break;
@@ -374,6 +465,14 @@ Status WalkRows(const cube::CubeView& view, Prepared& p, DeadlineTicker& ticker,
             row.aux = r.min_child_value;
             row.aux2 = static_cast<double>(r.children.size());
             row.tag = r.children_higher ? "masked" : "inflated";
+            if (keys) {
+              // SortReversals ranks by the parent/boundary-child gap.
+              const double gap = r.children_higher
+                                     ? r.min_child_value - r.parent_value
+                                     : r.parent_value - r.min_child_value;
+              AppendDoubleKey(gap, /*descending=*/true, &row.skey);
+              AppendCoordKey(r.parent->coords, &row.skey);
+            }
             return row;
           });
           if (!keep) break;
@@ -409,15 +508,17 @@ Status EmitPrepared(const cube::CubeView& view, Prepared& p,
     // slices the sorted vector. No scan pushdown is possible here.
     std::vector<ResultRow> rows;
     trace::Span walk_span(ctx.trace, SpanNameFor(p.mode));
-    status = WalkRows(view, p, ticker, &scanned, [&rows](auto&& make) {
-      rows.push_back(make());
-      return true;
-    });
+    status = WalkRows(view, p, ticker, ctx.merge_keys, &scanned,
+                      [&rows](auto&& make) {
+                        rows.push_back(make());
+                        return true;
+                      });
     walk_span.End();
     if (status.ok()) {
       trace::Span sort_span(ctx.trace, "sort");
       SortRows(*q.order, &rows);
       sort_span.End();
+      if (ctx.merge_keys) PrefixOrderKeys(*q.order, &rows);
       // The pager learns about non-exhaustion by being offered the first
       // row past the page, so no special casing is needed here.
       for (ResultRow& row : rows) {
@@ -431,9 +532,8 @@ Status EmitPrepared(const cube::CubeView& view, Prepared& p,
     // covers index traversal AND row delivery (serialisation pushback
     // included) — which is exactly the time a client waits for rows.
     trace::Span walk_span(ctx.trace, SpanNameFor(p.mode));
-    status = WalkRows(view, p, ticker, &scanned, [&pager](auto&& make) {
-      return pager.Offer(make);
-    });
+    status = WalkRows(view, p, ticker, ctx.merge_keys, &scanned,
+                      [&pager](auto&& make) { return pager.Offer(make); });
   }
 
   stats->cells_scanned = scanned;

@@ -63,6 +63,12 @@ struct StreamStats {
   uint64_t cells_scanned = 0;
 };
 
+/// The ORDER BY sort, shared between the executor's materialised path
+/// and the scatter-gather router: a router re-sorting the merged global
+/// TOPK selection must use the exact comparator (stable, undefined cells
+/// last under index keys) or sharded output drifts from single-node.
+void SortRows(const OrderBy& order, std::vector<ResultRow>* rows);
+
 /// \brief Executes queries against one sealed cube snapshot.
 ///
 /// Construction indexes the catalog (attribute/value -> item id); the

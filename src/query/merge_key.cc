@@ -1,0 +1,51 @@
+#include "query/merge_key.h"
+
+#include <bit>
+
+#include "cube/cell.h"
+
+namespace scube {
+namespace query {
+
+void AppendDoubleKey(double v, bool descending, std::string* out) {
+  if (v == 0.0) v = 0.0;  // fold -0.0 onto +0.0: they compare equal
+  uint64_t bits = std::bit_cast<uint64_t>(v);
+  // Sign-flip into a totally ordered unsigned space: negatives reverse
+  // (complement), non-negatives shift above them (set the sign bit).
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ull << 63);
+  }
+  if (descending) bits = ~bits;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((bits >> shift) & 0xff));
+  }
+}
+
+void AppendItemKey(fpm::ItemId item, std::string* out) {
+  const uint32_t id = static_cast<uint32_t>(item);
+  out->push_back(static_cast<char>((id >> 24) & 0xff));
+  out->push_back(static_cast<char>((id >> 16) & 0xff));
+  out->push_back(static_cast<char>((id >> 8) & 0xff));
+  out->push_back(static_cast<char>(id & 0xff));
+}
+
+void AppendItemsetKey(const fpm::Itemset& items, std::string* out) {
+  for (fpm::ItemId item : items.items()) {
+    out->push_back('\x01');
+    AppendItemKey(item, out);
+  }
+  out->push_back('\x00');
+}
+
+void AppendCoordKey(const cube::CellCoordinates& coords, std::string* out) {
+  const size_t size = coords.sa.size() + coords.ca.size();
+  out->push_back(static_cast<char>((size >> 8) & 0xff));
+  out->push_back(static_cast<char>(size & 0xff));
+  AppendItemsetKey(coords.sa, out);
+  AppendItemsetKey(coords.ca, out);
+}
+
+}  // namespace query
+}  // namespace scube

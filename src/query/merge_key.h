@@ -1,0 +1,61 @@
+// Order-preserving merge keys for scatter-gather serving.
+//
+// A shard executing a query with QueryContext::merge_keys set stamps every
+// emitted row with a byte string whose *lexicographic* order equals the
+// executor's emission order for that verb. Because each shard emits an
+// exact subsequence of the global (single-node) row stream — ghosts are
+// filtered at emission, every global cell is owned by exactly one shard —
+// a k-way merge of shard streams on these keys reproduces the single-node
+// stream byte for byte.
+//
+// Encodings (all big-endian so memcmp order == numeric order):
+//   itemset     (0x01 + item id as 4 bytes BE)* 0x00
+//               — the terminator sorts before any item byte, so a prefix
+//               itemset sorts first, matching fpm::Itemset::operator<.
+//   coordinates |sa|+|ca| as 2 bytes BE, then sa, then ca
+//               — matches cube::CellCoordinates::operator< (size-major).
+//   double      IEEE bits sign-flipped into a total order (-0.0 folded
+//               onto +0.0 to match operator==); complemented when the
+//               walk is descending.
+//
+// Per-verb keys are assembled by the executor (query/executor.cc):
+//   SLICE/DICE/DRILLDOWN  coordinates
+//   TOPK                  value desc + coordinates
+//   SURPRISES             delta desc + coordinates
+//   REVERSALS             gap desc + coordinates
+//   ROLLUP                removal ordinal (axis byte + removed item)
+//   ORDER BY …            fixed-width sort key prefix + the verb's natural
+//                         key (stable_sort ties resolve to walk order)
+
+#ifndef SCUBE_QUERY_MERGE_KEY_H_
+#define SCUBE_QUERY_MERGE_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fpm/itemset.h"
+
+namespace scube {
+namespace cube {
+struct CellCoordinates;
+}  // namespace cube
+
+namespace query {
+
+/// Appends an 8-byte key for `v` such that memcmp order equals numeric
+/// order (ascending), or its complement when `descending`.
+void AppendDoubleKey(double v, bool descending, std::string* out);
+
+/// Appends the itemset encoding described above.
+void AppendItemsetKey(const fpm::Itemset& items, std::string* out);
+
+/// Appends the coordinate encoding: memcmp order == CellCoordinates::<.
+void AppendCoordKey(const cube::CellCoordinates& coords, std::string* out);
+
+/// Appends a 4-byte big-endian item id.
+void AppendItemKey(fpm::ItemId item, std::string* out);
+
+}  // namespace query
+}  // namespace scube
+
+#endif  // SCUBE_QUERY_MERGE_KEY_H_

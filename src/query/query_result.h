@@ -44,6 +44,12 @@ struct ResultRow {
   double aux = 0.0;
   double aux2 = 0.0;
   std::string tag;
+
+  /// Order-preserving merge key (query/merge_key.h): lexicographic order
+  /// of keys equals the executor's emission order for the query's verb.
+  /// Populated only when QueryContext::merge_keys is set (shard-side wire
+  /// responses); never rendered by the JSON/CSV writers.
+  std::string skey;
 };
 
 /// \brief Everything known about an answer *before* its first row: the

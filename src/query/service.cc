@@ -1,6 +1,7 @@
 #include "query/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 
@@ -25,6 +26,49 @@ void StampCursor(QueryResponse* resp) {
   resp->result.next_cursor =
       EncodeCursor(Cursor{resp->cube, resp->cube_version,
                           resp->result.next_offset, resp->query_hash});
+}
+
+/// A cached answer stamped with merge keys serves any request; a keyless
+/// one cannot answer a merge-keys request (the shard wire path) — that
+/// request must re-execute so its rows carry keys, and the re-execution's
+/// Put upgrades the entry.
+bool UsableFromCache(const QueryResult& result, const QueryContext& ctx) {
+  return !ctx.merge_keys || result.rows.empty() ||
+         !result.rows.front().skey.empty();
+}
+
+/// Prometheus exposition helpers for AppendBackendMetrics (same output
+/// shape as server/metrics.cc renders for the shared series).
+void MetricCounter(std::string* out, const char* name, uint64_t value,
+                   const char* help) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " counter\n";
+  *out += name;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+void MetricGauge(std::string* out, const char* name, double value,
+                 const char* help) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " gauge\n";
+  *out += name;
+  *out += ' ';
+  *out += buf;
+  *out += '\n';
 }
 
 /// Forwards a stream to `out` while materialising a copy for the result
@@ -245,7 +289,8 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     resp.cube_version = version;
 
     if (auto cached =
-            cache_.Get(resp.cube, resp.cube_version, resp.canonical)) {
+            cache_.Get(resp.cube, resp.cube_version, resp.canonical);
+        cached && UsableFromCache(*cached, context)) {
       resp.result = std::move(*cached);
       resp.cache_hit = true;
       continue;
@@ -315,7 +360,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   std::condition_variable done_cv;
   size_t remaining = chunks.size();
 
-  auto run_chunk = [&done_mu, &done_cv, &remaining](Chunk* chunk) {
+  auto run_chunk = [this, &done_mu, &done_cv, &remaining](Chunk* chunk) {
     if (chunk->ctx.trace != nullptr) {
       // Queue wait spans two threads (enqueue on the batch thread, start
       // here), so it is recorded retroactively rather than via RAII.
@@ -335,11 +380,18 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       }
     } else {
       WallTimer timer;
-      Executor executor(*chunk->group->snapshot);
+      // The per-snapshot executor is built once at publish; falling back
+      // to a one-off build only happens if the version was evicted after
+      // prepare (the chunk's snapshot keeps the view itself alive).
+      std::shared_ptr<const Executor> executor =
+          store_->GetExecutor(chunk->cube_name, chunk->cube_version);
+      if (executor == nullptr) {
+        executor = std::make_shared<const Executor>(*chunk->group->snapshot);
+      }
       std::vector<Query> queries;
       queries.reserve(chunk->misses.size());
       for (const Miss& miss : chunk->misses) queries.push_back(miss.query);
-      auto results = executor.ExecuteBatch(queries, chunk->ctx);
+      auto results = executor->ExecuteBatch(queries, chunk->ctx);
       double elapsed = timer.Millis();
 
       for (size_t i = 0; i < chunk->misses.size(); ++i) {
@@ -526,7 +578,8 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
   // --- cache: hits replay through the sink, byte-identical to a live
   // stream (cursor-resumed pages are never cached or served from cache).
   if (cursor.empty()) {
-    if (auto cached = cache_.Get(outcome.cube, version, outcome.canonical)) {
+    if (auto cached = cache_.Get(outcome.cube, version, outcome.canonical);
+        cached && UsableFromCache(*cached, context)) {
       outcome.cache_hit = true;
       outcome.begun = true;
       ResultTrailer trailer;
@@ -557,10 +610,16 @@ QueryService::StreamOutcome QueryService::ExecuteStreaming(
   RowSink& target = try_cache ? static_cast<RowSink&>(tee) : sink;
 
   WallTimer timer;
-  Executor executor(*snapshot);
+  std::shared_ptr<const Executor> executor =
+      store_->GetExecutor(outcome.cube, version);
+  if (executor == nullptr) {
+    // The version was evicted between snapshot resolution and here (or the
+    // snapshot came from a cursor pin that outlived retention).
+    executor = std::make_shared<const Executor>(*snapshot);
+  }
   StreamStats stats;
   trace::Span execute_span(context.trace, "execute");
-  Status status = executor.ExecuteToSink(query, context, target, &stats);
+  Status status = executor->ExecuteToSink(query, context, target, &stats);
   execute_span.End();
   outcome.exec_ms = timer.Millis();
   outcome.begun = stats.begun;
@@ -644,8 +703,12 @@ QueryService::PublishInfo QueryService::PublishAndWarm(
   // cannot be shed by the very overload it exists to soften, and it does
   // not displace live traffic from the workers.
   trace::Span warm_span(&tc, "warm");
-  Executor executor(*snapshot);
-  auto results = executor.ExecuteBatch(queries);
+  std::shared_ptr<const Executor> executor =
+      store_->GetExecutor(name, info.version);
+  if (executor == nullptr) {
+    executor = std::make_shared<const Executor>(*snapshot);
+  }
+  auto results = executor->ExecuteBatch(queries);
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].ok()) continue;
     cache_.Put(name, info.version, canonicals[i],
@@ -655,6 +718,42 @@ QueryService::PublishInfo QueryService::PublishAndWarm(
   warm_span.End();
   log_summary();
   return info;
+}
+
+std::vector<CubeInfo> QueryService::ListCubes() const {
+  std::vector<CubeInfo> out;
+  for (const std::string& name : store_->Names()) {
+    uint64_t version = 0;
+    CubeStore::Snapshot snapshot = store_->Get(name, &version);
+    if (snapshot == nullptr) continue;
+    CubeInfo info;
+    info.name = name;
+    info.version = version;
+    info.retained = store_->RetainedVersions(name);
+    info.cells = snapshot->NumCells();
+    info.defined_cells = snapshot->NumDefinedCells();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void QueryService::AppendBackendMetrics(std::string* out) const {
+  MetricGauge(out, "scubed_queue_depth",
+              static_cast<double>(queue_depth()),
+              "Worker tasks currently queued");
+  ResultCache::Stats cache = cache_.stats();
+  MetricCounter(out, "scubed_cache_hits_total", cache.hits,
+                "Result-cache hits");
+  MetricCounter(out, "scubed_cache_misses_total", cache.misses,
+                "Result-cache misses");
+  MetricCounter(out, "scubed_cache_evictions_total", cache.evictions,
+                "Result-cache LRU evictions");
+  uint64_t lookups = cache.hits + cache.misses;
+  MetricGauge(out, "scubed_cache_hit_rate",
+              lookups == 0 ? 0.0
+                           : static_cast<double>(cache.hits) /
+                                 static_cast<double>(lookups),
+              "Result-cache hit fraction since start");
 }
 
 }  // namespace query

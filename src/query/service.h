@@ -35,6 +35,7 @@
 
 #include "common/status.h"
 #include "query/ast.h"
+#include "query/backend.h"
 #include "query/context.h"
 #include "query/cube_store.h"
 #include "query/query_result.h"
@@ -82,41 +83,12 @@ struct ServiceOptions {
   size_t cache_max_rows = 10000;
 };
 
-/// \brief Monotonic serving counters (exported by scubed's /metrics).
-struct ServiceStats {
-  uint64_t accepted = 0;          ///< queries admitted past the queue bound
-  uint64_t rejected = 0;          ///< queries shed by admission control
-  uint64_t deadline_expired = 0;  ///< queries answered DeadlineExceeded
-  uint64_t completed = 0;         ///< admitted queries answered (any status)
-};
-
-/// \brief The answer to one query text.
-struct QueryResponse {
-  std::string text;       ///< the query as submitted
-  std::string canonical;  ///< normalised form (empty on parse errors)
-  std::string cube;       ///< resolved cube name
-  std::string verb;       ///< SCubeQL verb ("slice", "topk", …; empty on
-                          ///< parse errors) — the per-verb histogram label
-  uint64_t cube_version = 0;
-
-  Status status;       ///< parse / resolution / execution outcome
-  QueryResult result;  ///< valid iff status.ok()
-
-  /// Stream fingerprint (CursorQueryHash) embedded in resume cursors so a
-  /// cursor cannot be replayed against a different statement.
-  uint64_t query_hash = 0;
-
-  bool cache_hit = false;
-  double parse_ms = 0.0;
-  /// Execution wall time. Queries answered inside a shared-scan chunk
-  /// report the chunk's time (`shared_batch` tells how many queries
-  /// amortised that scan); cache hits report ~0.
-  double exec_ms = 0.0;
-  uint32_t shared_batch = 1;
-};
+// ServiceStats, QueryResponse and StreamOutcome live in query/backend.h
+// (shared with every QueryBackend implementation); this header keeps the
+// names reachable for existing includers.
 
 /// \brief Concurrent query server over a CubeStore. Thread-safe.
-class QueryService {
+class QueryService : public QueryBackend {
  public:
   explicit QueryService(CubeStore* store, ServiceOptions options = {});
   ~QueryService();
@@ -126,40 +98,19 @@ class QueryService {
 
   /// Parses and executes one query.
   QueryResponse ExecuteOne(const std::string& text,
-                           const QueryContext& ctx = {});
+                           const QueryContext& ctx = {}) override;
 
   /// Parses and executes a batch; responses[i] answers texts[i]. When the
   /// admission queue is full every response carries Unavailable; when the
   /// context (or default) deadline expires mid-batch the unfinished
   /// responses carry DeadlineExceeded.
   std::vector<QueryResponse> ExecuteBatch(
-      const std::vector<std::string>& texts, const QueryContext& ctx = {});
+      const std::vector<std::string>& texts,
+      const QueryContext& ctx = {}) override;
 
-  /// \brief Outcome of one streamed execution (ExecuteStreaming).
-  struct StreamOutcome {
-    std::string text;       ///< the query as submitted
-    std::string canonical;  ///< normalised form (empty on parse errors)
-    std::string cube;       ///< resolved cube name
-    std::string verb;       ///< SCubeQL verb (empty on parse errors)
-    uint64_t cube_version = 0;
-
-    Status status;  ///< parse / resolution / execution outcome
-
-    /// The sink received Begin (and possibly rows) — bytes may already be
-    /// on the wire. False on errors caught before any output, which can
-    /// still be answered with a plain (non-streamed) error response.
-    bool begun = false;
-
-    bool cache_hit = false;
-    uint64_t rows = 0;           ///< rows delivered to the sink
-    uint64_t cells_scanned = 0;  ///< scan accounting (pushdown-bounded)
-
-    /// Resume token for the next page; empty when the stream is
-    /// exhausted (or the client aborted mid-stream).
-    std::string next_cursor;
-
-    double exec_ms = 0.0;
-  };
+  /// Streamed-execution outcome (kept as a nested alias for existing
+  /// callers; the struct itself lives in query/backend.h).
+  using StreamOutcome = query::StreamOutcome;
 
   /// Streams one query's answer into `sink` on the caller's thread
   /// (header -> rows -> trailer; the service calls sink.Finish). Shares
@@ -175,7 +126,7 @@ class QueryService {
   /// the unpaginated answer. Cursor-resumed requests bypass the cache.
   StreamOutcome ExecuteStreaming(const std::string& text, RowSink& sink,
                                  const QueryContext& ctx = {},
-                                 const std::string& cursor = "");
+                                 const std::string& cursor = "") override;
 
   /// \brief Outcome of a PublishAndWarm call.
   struct PublishInfo {
@@ -203,7 +154,13 @@ class QueryService {
   const ServiceOptions& options() const { return options_; }
 
   /// Serving counters snapshot.
-  ServiceStats stats() const;
+  ServiceStats stats() const override;
+
+  /// Published cubes in the underlying store (GET /cubes).
+  std::vector<CubeInfo> ListCubes() const override;
+
+  /// Queue-depth gauge and result-cache counters for /metrics.
+  void AppendBackendMetrics(std::string* out) const override;
 
   /// Worker tasks currently queued (the admission-controlled backlog).
   size_t queue_depth() const;

@@ -154,7 +154,7 @@ void ServerMetrics::ObserveVerb(const std::string& verb, double ms) {
 }
 
 std::string RenderPrometheus(const ServerMetrics& metrics,
-                             const query::QueryService& service) {
+                             const query::QueryBackend& backend) {
   std::string out;
   out.reserve(2048);
 
@@ -197,7 +197,7 @@ std::string RenderPrometheus(const ServerMetrics& metrics,
         "High-water mark of buffered response bodies (the whole "
         "serialised answer)");
 
-  query::ServiceStats stats = service.stats();
+  query::ServiceStats stats = backend.stats();
   Counter(&out, "scubed_queries_accepted_total", stats.accepted,
           "Queries admitted past the admission queue bound");
   Counter(&out, "scubed_queries_rejected_total", stats.rejected,
@@ -207,23 +207,11 @@ std::string RenderPrometheus(const ServerMetrics& metrics,
           "Queries answered DeadlineExceeded");
   Counter(&out, "scubed_queries_completed_total", stats.completed,
           "Admitted queries answered (any status)");
-  Gauge(&out, "scubed_queue_depth",
-        static_cast<double>(service.queue_depth()),
-        "Worker tasks currently queued");
 
-  query::ResultCache::Stats cache = service.cache_stats();
-  Counter(&out, "scubed_cache_hits_total", cache.hits,
-          "Result-cache hits");
-  Counter(&out, "scubed_cache_misses_total", cache.misses,
-          "Result-cache misses");
-  Counter(&out, "scubed_cache_evictions_total", cache.evictions,
-          "Result-cache LRU evictions");
-  uint64_t lookups = cache.hits + cache.misses;
-  Gauge(&out, "scubed_cache_hit_rate",
-        lookups == 0 ? 0.0
-                     : static_cast<double>(cache.hits) /
-                           static_cast<double>(lookups),
-        "Result-cache hit fraction since start");
+  // Backend-specific series: queue depth + cache counters (QueryService)
+  // or per-shard fanout counters (scatter router) — emitted here so the
+  // exposition's series order is stable across backends.
+  backend.AppendBackendMetrics(&out);
 
   Counter(&out, "scubed_slow_queries_total",
           metrics.slow_queries.load(std::memory_order_relaxed),

@@ -1,7 +1,8 @@
 // ServerMetrics: scubed's monotonic counters, rendered for GET /metrics
 // in Prometheus text exposition format. Connection/request counters live
-// here; query admission/deadline/cache counters come from the underlying
-// QueryService at render time.
+// here; query admission/deadline counters plus backend-specific series
+// (queue depth and cache counters for a QueryService, per-shard fanout
+// series for a scatter router) come from the QueryBackend at render time.
 
 #ifndef SCUBE_SERVER_METRICS_H_
 #define SCUBE_SERVER_METRICS_H_
@@ -12,7 +13,8 @@
 
 #include "common/trace.h"
 #include "net/http.h"
-#include "query/service.h"
+#include "query/ast.h"
+#include "query/backend.h"
 
 namespace scube {
 namespace server {
@@ -101,10 +103,11 @@ struct ServerMetrics {
   }
 };
 
-/// Renders the full exposition: server counters plus the service's
-/// admission/deadline stats, queue depth and cache hit rate.
+/// Renders the full exposition: server counters plus the backend's
+/// admission/deadline stats and its backend-specific series
+/// (QueryBackend::AppendBackendMetrics).
 std::string RenderPrometheus(const ServerMetrics& metrics,
-                             const query::QueryService& service);
+                             const query::QueryBackend& backend);
 
 }  // namespace server
 }  // namespace scube

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "query/wire_format.h"
 
 namespace scube {
 namespace server {
@@ -65,13 +66,14 @@ bool AllUnavailable(const std::vector<query::QueryResponse>& responses) {
 
 /// Validates the parameters shared by the buffered and streamed /query
 /// routes (?format=, ?deadline_ms=). Returns "" on success, else the
-/// error message for a 400.
+/// error message for a 400. "wire" is the shard protocol and only valid
+/// on the streamed route — the buffered handler rejects it.
 std::string ParseQueryParams(const net::HttpRequest& request,
                              std::string* format,
                              query::QueryContext* qctx) {
   *format = request.Param("format", "json");
-  if (*format != "json" && *format != "csv") {
-    return "unknown format '" + *format + "' (expected json or csv)";
+  if (*format != "json" && *format != "csv" && *format != "wire") {
+    return "unknown format '" + *format + "' (expected json, csv or wire)";
   }
   const std::string deadline = request.Param("deadline_ms");
   if (!deadline.empty()) {
@@ -91,6 +93,10 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
   std::string format;
   query::QueryContext qctx;
   std::string validation = ParseQueryParams(request, &format, &qctx);
+  if (validation.empty() && format == "wire") {
+    validation = "format=wire requires stream=1 (the shard wire protocol "
+                 "is streamed only)";
+  }
   if (!validation.empty()) return JsonError(400, validation);
 
   // The trace must attach AFTER ParseQueryParams: ?deadline_ms= replaces
@@ -98,6 +104,7 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
   std::optional<trace::TraceContext> tc;
   if (ShouldTrace(ctx, request)) tc.emplace();
   qctx.trace = tc ? &*tc : nullptr;
+  qctx.allow_partial = request.Param("allow_partial") == "1";
 
   std::vector<std::string> statements = SplitStatements(request.body);
   if (statements.empty()) {
@@ -106,7 +113,7 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
   }
 
   std::vector<query::QueryResponse> responses =
-      ctx.service->ExecuteBatch(statements, qctx);
+      ctx.backend->ExecuteBatch(statements, qctx);
   ObserveVerbs(ctx, responses);
 
   auto maybe_slow_log = [&](const char* code, uint64_t rows) {
@@ -184,22 +191,20 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
 net::HttpResponse HandleCubes(const RouterContext& ctx) {
   std::string body = "{\"cubes\":[";
   bool first = true;
-  for (const std::string& name : ctx.store->Names()) {
-    uint64_t version = 0;
-    auto snapshot = ctx.store->Get(name, &version);
-    if (snapshot == nullptr) continue;
+  for (const query::CubeInfo& info : ctx.backend->ListCubes()) {
     if (!first) body += ',';
     first = false;
-    body += "{\"name\":" + JsonQuote(name) +
-            ",\"version\":" + std::to_string(version) + ",\"retained\":[";
+    body += "{\"name\":" + JsonQuote(info.name) +
+            ",\"version\":" + std::to_string(info.version) +
+            ",\"retained\":[";
     bool first_version = true;
-    for (uint64_t v : ctx.store->RetainedVersions(name)) {
+    for (uint64_t v : info.retained) {
       if (!first_version) body += ',';
       first_version = false;
       body += std::to_string(v);
     }
-    body += "],\"cells\":" + std::to_string(snapshot->NumCells()) +
-            ",\"defined_cells\":" + std::to_string(snapshot->NumDefinedCells()) +
+    body += "],\"cells\":" + std::to_string(info.cells) +
+            ",\"defined_cells\":" + std::to_string(info.defined_cells) +
             "}";
   }
   body += "]}\n";
@@ -209,11 +214,11 @@ net::HttpResponse HandleCubes(const RouterContext& ctx) {
 net::HttpResponse HandleHealthz(const RouterContext& ctx) {
   return net::HttpResponse(
       200, "{\"status\":\"ok\",\"cubes\":" +
-               std::to_string(ctx.store->Names().size()) + "}\n");
+               std::to_string(ctx.backend->ListCubes().size()) + "}\n");
 }
 
 net::HttpResponse HandleMetrics(const RouterContext& ctx) {
-  net::HttpResponse resp(200, RenderPrometheus(*ctx.metrics, *ctx.service));
+  net::HttpResponse resp(200, RenderPrometheus(*ctx.metrics, *ctx.backend));
   resp.content_type = "text/plain; version=0.0.4";
   return resp;
 }
@@ -244,7 +249,8 @@ int HttpStatusFor(StatusCode code) {
 class StreamSink : public query::RowSink {
  public:
   StreamSink(net::ChunkedWriter* writer, net::HttpResponse head,
-             bool keep_alive, std::string prefix, bool csv,
+             bool keep_alive, std::string prefix,
+             const std::string& format,
              trace::TraceContext* trace = nullptr,
              const WallTimer* request_timer = nullptr)
       : writer_(writer),
@@ -256,8 +262,10 @@ class StreamSink : public query::RowSink {
     auto emit = [writer](std::string_view data) {
       return writer->Write(data).ok();
     };
-    if (csv) {
+    if (format == "csv") {
       inner_ = std::make_unique<query::CsvWriter>(emit);
+    } else if (format == "wire") {
+      inner_ = std::make_unique<query::WireWriter>(emit);
     } else {
       inner_ = std::make_unique<query::JsonWriter>(emit);
     }
@@ -327,6 +335,7 @@ bool HandleQueryStream(const RouterContext& ctx,
   std::optional<trace::TraceContext> tc;
   if (ShouldTrace(ctx, request)) tc.emplace();
   qctx.trace = tc ? &*tc : nullptr;
+  qctx.allow_partial = request.Param("allow_partial") == "1";
 
   std::vector<std::string> statements = SplitStatements(request.body);
   if (validation.empty() && statements.size() != 1) {
@@ -349,17 +358,24 @@ bool HandleQueryStream(const RouterContext& ctx,
     head.content_type = "text/csv; charset=utf-8";
     head.SetHeader("Content-Disposition",
                    "attachment; filename=\"scube_query.csv\"");
+  } else if (format == "wire") {
+    head.content_type = "application/x-scube-wire";
+    // The shard protocol: every row carries its order-preserving merge
+    // key so the scatter router can k-way merge shard streams back into
+    // the exact single-node emission order.
+    qctx.merge_keys = true;
   }
 
   net::ChunkedWriter writer(write);
   writer.set_trace(qctx.trace);
-  const bool csv = format == "csv";
   std::string prefix =
-      csv ? "" : "{\"query\":" + JsonQuote(statements[0]) + ",\"result\":";
-  StreamSink sink(&writer, head, keep_alive, std::move(prefix), csv,
+      format == "json"
+          ? "{\"query\":" + JsonQuote(statements[0]) + ",\"result\":"
+          : "";
+  StreamSink sink(&writer, head, keep_alive, std::move(prefix), format,
                   qctx.trace, &timer);
-  query::QueryService::StreamOutcome outcome =
-      ctx.service->ExecuteStreaming(statements[0], sink, qctx, cursor);
+  query::StreamOutcome outcome =
+      ctx.backend->ExecuteStreaming(statements[0], sink, qctx, cursor);
   if (ctx.metrics != nullptr) {
     if (!outcome.verb.empty()) {
       ctx.metrics->ObserveVerb(outcome.verb, outcome.exec_ms);
@@ -414,6 +430,12 @@ bool HandleQueryStream(const RouterContext& ctx,
     }
     tail += "}\n";
     writer.Write(tail);
+  } else if (format == "wire") {
+    // The authoritative close of a wire stream: the router treats a
+    // stream without an S line as transport failure.
+    writer.Write(query::WireStatusLine(
+        outcome.status.code(), outcome.status.message(),
+        outcome.cube_version, outcome.cache_hit, outcome.rows));
   } else if (!outcome.status.ok()) {
     writer.Write("# code: " +
                  std::string(StatusCodeToString(outcome.status.code())) +
@@ -495,7 +517,7 @@ std::string HandleProtocolLine(const RouterContext& ctx,
   qctx.trace = tc ? &*tc : nullptr;
 
   query::QueryResponse response =
-      ctx.service->ExecuteOne(std::string(text), qctx);
+      ctx.backend->ExecuteOne(std::string(text), qctx);
   if (ctx.metrics != nullptr && !response.verb.empty()) {
     ctx.metrics->ObserveVerb(response.verb, response.exec_ms);
   }

@@ -10,7 +10,10 @@
 //                   encoding: rows leave as the index walks produce them,
 //                   O(1) response buffering. ?cursor=TOKEN resumes the
 //                   next page of a LIMIT'ed answer against the same
-//                   name@version snapshot.
+//                   name@version snapshot. ?format=wire (streamed only)
+//                   answers in the shard wire format with per-row merge
+//                   keys — the scatter-gather router's shard protocol
+//                   (query/wire_format.h).
 //   GET  /cubes     published cube names, versions and sizes
 //   GET  /healthz   liveness: {"status":"ok",...}
 //   GET  /metrics   Prometheus text exposition (see metrics.h)
@@ -24,18 +27,18 @@
 #include <string>
 
 #include "net/http.h"
-#include "query/cube_store.h"
-#include "query/service.h"
+#include "query/backend.h"
 #include "server/metrics.h"
 #include "server/slow_query_log.h"
 
 namespace scube {
 namespace server {
 
-/// \brief Everything a handler may touch (non-owning).
+/// \brief Everything a handler may touch (non-owning). The backend is
+/// either a query::QueryService (single node) or a
+/// cluster::ScatterExecutor (shard router) — handlers cannot tell.
 struct RouterContext {
-  query::QueryService* service = nullptr;
-  query::CubeStore* store = nullptr;
+  query::QueryBackend* backend = nullptr;
   ServerMetrics* metrics = nullptr;
 
   /// Threshold-gated slow-query sink; null or disabled = off. When

@@ -10,16 +10,22 @@
 namespace scube {
 namespace server {
 
-ScubedServer::ScubedServer(query::QueryService* service,
-                           query::CubeStore* store, ServerOptions options)
-    : service_(service),
-      store_(store),
+ScubedServer::ScubedServer(query::QueryBackend* backend,
+                           ServerOptions options)
+    : backend_(backend),
       options_(std::move(options)),
       slow_log_(options_.slow_query_ms, options_.slow_query_sink) {
   options_.num_connection_threads =
       std::max<size_t>(1, options_.num_connection_threads);
-  router_ = RouterContext{service_, store_, &metrics_, &slow_log_,
+  router_ = RouterContext{backend_, &metrics_, &slow_log_,
                           options_.trace_all};
+}
+
+ScubedServer::ScubedServer(query::QueryService* service,
+                           query::CubeStore* store, ServerOptions options)
+    : ScubedServer(static_cast<query::QueryBackend*>(service),
+                   std::move(options)) {
+  (void)store;  // /cubes answers via QueryBackend::ListCubes now
 }
 
 ScubedServer::~ScubedServer() { Stop(); }

@@ -1,4 +1,5 @@
-// ScubedServer: the network front-end over a QueryService.
+// ScubedServer: the network front-end over a QueryBackend (a local
+// QueryService, or a cluster::ScatterExecutor in router mode).
 //
 // One acceptor thread pushes connections onto a bounded queue consumed by
 // a fixed pool of connection threads (thread count and queue bound are the
@@ -31,6 +32,8 @@
 #include "common/status.h"
 #include "net/http.h"
 #include "net/socket.h"
+#include "query/cube_store.h"
+#include "query/service.h"
 #include "server/metrics.h"
 #include "server/router.h"
 #include "server/slow_query_log.h"
@@ -85,6 +88,10 @@ struct ServerOptions {
 /// (or the destructor) shuts down gracefully.
 class ScubedServer {
  public:
+  ScubedServer(query::QueryBackend* backend, ServerOptions options = {});
+
+  /// Legacy signature; `store` is unused — /cubes and /healthz go through
+  /// QueryBackend::ListCubes now.
   ScubedServer(query::QueryService* service, query::CubeStore* store,
                ServerOptions options = {});
   ~ScubedServer();
@@ -120,8 +127,7 @@ class ScubedServer {
   /// or idle timeout).
   std::optional<std::string> NextLine(net::BufferedReader* reader);
 
-  query::QueryService* service_;
-  query::CubeStore* store_;
+  query::QueryBackend* backend_;
   ServerOptions options_;
   ServerMetrics metrics_;
   SlowQueryLog slow_log_;  ///< initialised from options_: declare after it
