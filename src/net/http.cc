@@ -31,6 +31,12 @@ bool IsToken(std::string_view s) {
 
 Status BufferedReader::Fill() {
   if (eof_) return Status::OK();
+  // The total-time cap, checked before every receive: a peer trickling
+  // one byte per receive-timeout window keeps each recv "successful" but
+  // cannot push the wall clock back.
+  if (deadline_ && std::chrono::steady_clock::now() >= *deadline_) {
+    return Status::DeadlineExceeded("request read deadline exceeded");
+  }
   // Compact the consumed prefix before growing the buffer.
   if (pos_ > 0) {
     buf_.erase(0, pos_);
@@ -98,6 +104,18 @@ bool BufferedReader::AtEof() {
     if (!Fill().ok()) return true;
   }
   return pos_ >= buf_.size() && eof_;
+}
+
+Result<std::string_view> BufferedReader::PeekSome() {
+  while (pos_ >= buf_.size()) {
+    if (eof_) return std::string_view();
+    SCUBE_RETURN_IF_ERROR(Fill());
+  }
+  return std::string_view(buf_).substr(pos_);
+}
+
+void BufferedReader::Advance(size_t n) {
+  pos_ += std::min(n, buf_.size() - pos_);
 }
 
 const std::string& HttpRequest::Header(const std::string& lower_name) const {
@@ -185,75 +203,179 @@ void ParseTarget(std::string_view target, std::string* path,
   }
 }
 
-Result<HttpRequest> ReadHttpRequest(BufferedReader* reader,
-                                    const std::string& request_line,
-                                    size_t max_body) {
-  HttpRequest req;
+// --- HttpRequestParser ------------------------------------------------------
 
-  size_t sp1 = request_line.find(' ');
-  size_t sp2 = request_line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) {
-    return Status::ParseError("malformed request line: " + request_line);
-  }
-  req.method = request_line.substr(0, sp1);
-  std::transform(req.method.begin(), req.method.end(), req.method.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  std::string version = request_line.substr(sp2 + 1);
-  if (version.rfind("HTTP/1.", 0) != 0) {
-    return Status::ParseError("unsupported protocol: " + version);
-  }
-  // HTTP/1.0 defaults to close, 1.1 to keep-alive.
-  req.keep_alive = version != "HTTP/1.0";
-  ParseTarget(req.target, &req.path, &req.params);
+namespace {
 
-  bool headers_done = false;
-  for (size_t i = 0; i < kMaxHeaderLines; ++i) {
-    auto line = reader->ReadLine();
-    if (!line.ok()) return line.status();
-    if (line->empty()) {
-      headers_done = true;
-      break;
+/// The ReadLine bound, mirrored so the incremental parser rejects an
+/// endless header line exactly where the blocking reader would.
+constexpr size_t kMaxLineBytes = 64 * 1024;
+
+}  // namespace
+
+HttpRequestParser::HttpRequestParser(size_t max_body) : max_body_(max_body) {}
+
+void HttpRequestParser::Reset() {
+  state_ = State::kRequestLine;
+  status_ = Status::OK();
+  request_ = HttpRequest{};
+  line_.clear();
+  header_count_ = 0;
+  body_expected_ = 0;
+}
+
+void HttpRequestParser::Fail(Status status) {
+  state_ = State::kError;
+  status_ = std::move(status);
+}
+
+size_t HttpRequestParser::Feed(std::string_view data) {
+  size_t used = 0;
+  while (used < data.size() && state_ != State::kDone &&
+         state_ != State::kError) {
+    if (state_ == State::kBody) {
+      size_t want = body_expected_ - request_.body.size();
+      size_t take = std::min(want, data.size() - used);
+      request_.body.append(data.substr(used, take));
+      used += take;
+      if (request_.body.size() == body_expected_) state_ = State::kDone;
+      continue;
     }
-    size_t colon = line->find(':');
-    if (colon == std::string::npos) {
-      return Status::ParseError("malformed header: " + *line);
+    size_t nl = data.find('\n', used);
+    if (nl == std::string_view::npos) {
+      size_t take = data.size() - used;
+      if (line_.size() + take > kMaxLineBytes) {
+        Fail(Status::IoError("line exceeds " +
+                             std::to_string(kMaxLineBytes) + " bytes"));
+        return data.size();
+      }
+      line_.append(data.substr(used));
+      return data.size();
     }
-    std::string name = ToLower(Trim(std::string_view(*line).substr(0, colon)));
-    std::string value(Trim(std::string_view(*line).substr(colon + 1)));
-    req.headers[name] = std::move(value);
+    line_.append(data.substr(used, nl - used));
+    used = nl + 1;
+    if (line_.size() > kMaxLineBytes) {
+      Fail(Status::IoError("line exceeds " + std::to_string(kMaxLineBytes) +
+                           " bytes"));
+      return used;
+    }
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    std::string line = std::move(line_);
+    line_.clear();
+    ConsumeLine(line);
   }
-  if (!headers_done) {
+  return used;
+}
+
+void HttpRequestParser::ConsumeLine(const std::string& line) {
+  if (state_ == State::kRequestLine) {
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+      Fail(Status::ParseError("malformed request line: " + line));
+      return;
+    }
+    request_.method = line.substr(0, sp1);
+    std::transform(request_.method.begin(), request_.method.end(),
+                   request_.method.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string version = line.substr(sp2 + 1);
+    if (version.rfind("HTTP/1.", 0) != 0) {
+      Fail(Status::ParseError("unsupported protocol: " + version));
+      return;
+    }
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+    request_.keep_alive = version != "HTTP/1.0";
+    ParseTarget(request_.target, &request_.path, &request_.params);
+    state_ = State::kHeaders;
+    return;
+  }
+
+  // State::kHeaders.
+  if (line.empty()) {
+    FinishHeaders();
+    return;
+  }
+  if (header_count_ >= kMaxHeaderLines) {
     // Failing (rather than silently truncating) keeps the connection from
     // desyncing: leftover header bytes would otherwise be read as body.
-    return Status::ParseError("more than " +
-                              std::to_string(kMaxHeaderLines) + " headers");
+    Fail(Status::ParseError("more than " + std::to_string(kMaxHeaderLines) +
+                            " headers"));
+    return;
   }
+  size_t colon = line.find(':');
+  if (colon == std::string::npos) {
+    Fail(Status::ParseError("malformed header: " + line));
+    return;
+  }
+  std::string name = ToLower(Trim(std::string_view(line).substr(0, colon)));
+  std::string value(Trim(std::string_view(line).substr(colon + 1)));
+  request_.headers[name] = std::move(value);
+  ++header_count_;
+}
 
-  const std::string& connection = req.Header("connection");
+void HttpRequestParser::FinishHeaders() {
+  const std::string& connection = request_.Header("connection");
   if (!connection.empty()) {
     std::string lower = ToLower(connection);
-    if (lower.find("close") != std::string::npos) req.keep_alive = false;
-    if (lower.find("keep-alive") != std::string::npos) req.keep_alive = true;
+    if (lower.find("close") != std::string::npos) {
+      request_.keep_alive = false;
+    }
+    if (lower.find("keep-alive") != std::string::npos) {
+      request_.keep_alive = true;
+    }
   }
 
-  const std::string& length = req.Header("content-length");
+  const std::string& length = request_.Header("content-length");
   if (!length.empty()) {
     auto n = ParseInt64(length);
     if (!n.ok() || *n < 0) {
-      return Status::ParseError("bad Content-Length: " + length);
+      Fail(Status::ParseError("bad Content-Length: " + length));
+      return;
     }
-    if (static_cast<size_t>(*n) > max_body) {
-      return Status::InvalidArgument("request body of " + length +
-                                     " bytes exceeds the limit of " +
-                                     std::to_string(max_body));
+    if (static_cast<size_t>(*n) > max_body_) {
+      Fail(Status::InvalidArgument("request body of " + length +
+                                   " bytes exceeds the limit of " +
+                                   std::to_string(max_body_)));
+      return;
     }
-    SCUBE_RETURN_IF_ERROR(reader->ReadExact(static_cast<size_t>(*n),
-                                            &req.body));
-  } else if (!req.Header("transfer-encoding").empty()) {
-    return Status::Unimplemented("chunked transfer encoding not supported");
+    body_expected_ = static_cast<size_t>(*n);
+    request_.body.reserve(body_expected_);
+    state_ = body_expected_ == 0 ? State::kDone : State::kBody;
+    return;
   }
-  return req;
+  if (!request_.Header("transfer-encoding").empty()) {
+    Fail(Status::Unimplemented("chunked transfer encoding not supported"));
+    return;
+  }
+  state_ = State::kDone;
+}
+
+Result<HttpRequest> ReadHttpRequest(BufferedReader* reader,
+                                    const std::string& request_line,
+                                    size_t max_body) {
+  HttpRequestParser parser(max_body);
+  // The request line arrived pre-stripped (the dialect sniff consumed it);
+  // hand it to the parser with its terminator restored.
+  parser.Feed(request_line);
+  parser.Feed("\n");
+  while (!parser.done() && !parser.failed()) {
+    auto chunk = reader->PeekSome();
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->empty()) {
+      if (parser.in_body()) {
+        return Status::IoError(
+            "connection closed mid-body (" +
+            std::to_string(parser.body_received()) + " of " +
+            std::to_string(parser.body_expected()) + " bytes)");
+      }
+      return Status::IoError("connection closed");
+    }
+    reader->Advance(parser.Feed(*chunk));
+  }
+  if (parser.failed()) return parser.status();
+  return std::move(parser.request());
 }
 
 std::string SerializeResponseHead(const HttpResponse& response,

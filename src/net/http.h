@@ -13,10 +13,12 @@
 #ifndef SCUBE_NET_HTTP_H_
 #define SCUBE_NET_HTTP_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -49,6 +51,22 @@ class BufferedReader {
   /// True once the peer closed and the buffer is drained (peeks one byte).
   bool AtEof();
 
+  /// Returns the buffered-but-unconsumed bytes, reading from the socket
+  /// once when none are buffered. An empty view means orderly EOF.
+  Result<std::string_view> PeekSome();
+
+  /// Discards `n` bytes previously returned by PeekSome.
+  void Advance(size_t n);
+
+  /// Caps the total wall time of all subsequent reads: once `deadline`
+  /// passes, reads fail with DeadlineExceeded even if the peer keeps
+  /// trickling bytes. This is the slow-loris bound — a per-read
+  /// SetRecvTimeout alone is defeated by one byte per timeout window.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+  void clear_deadline() { deadline_.reset(); }
+
  private:
   Status Fill();  ///< one recv into the buffer
 
@@ -56,6 +74,7 @@ class BufferedReader {
   std::string buf_;
   size_t pos_ = 0;
   bool eof_ = false;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
 };
 
 /// \brief One parsed HTTP/1.1 request.
@@ -67,6 +86,13 @@ struct HttpRequest {
   std::map<std::string, std::string> headers;  ///< keys lower-cased
   std::string body;
   bool keep_alive = true;  ///< HTTP/1.1 default unless "Connection: close"
+
+  /// Wall-clock bounds of reading this request off the socket (first
+  /// byte to parse complete), stamped by the connection front-end so
+  /// handlers can record a retroactive "conn.read" trace span. Both at
+  /// the epoch when the front-end does not track read time.
+  std::chrono::steady_clock::time_point read_start{};
+  std::chrono::steady_clock::time_point read_end{};
 
   /// Case-insensitive header lookup; "" when absent.
   const std::string& Header(const std::string& lower_name) const;
@@ -98,6 +124,53 @@ const char* StatusReason(int status);
 /// True when `first_line` looks like an HTTP request line (METHOD SP ...
 /// SP HTTP/1.x) — the dialect sniff between HTTP and the line protocol.
 bool SniffsAsHttp(std::string_view first_line);
+
+/// \brief Incremental HTTP/1.1 request parser: feed it bytes as they
+/// arrive off a non-blocking socket (partial lines, split headers, body
+/// fragments) and it consumes exactly one message, stopping at the
+/// boundary so pipelined follow-up bytes stay with the caller. Same
+/// grammar, limits and error messages as the blocking ReadHttpRequest —
+/// which is built on it, so the two paths cannot drift.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(size_t max_body = 4 * 1024 * 1024);
+
+  /// Consumes bytes from `data`, returning how many were used. Everything
+  /// is consumed except bytes past the end of a completed (or failed)
+  /// message.
+  size_t Feed(std::string_view data);
+
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kError; }
+  const Status& status() const { return status_; }
+
+  /// True while reading the body — the "READ_BODY" connection state, and
+  /// the EOF-mid-body diagnostic (body_received / body_expected).
+  bool in_body() const { return state_ == State::kBody; }
+  size_t body_received() const { return request_.body.size(); }
+  size_t body_expected() const { return body_expected_; }
+
+  /// The parsed request; valid once done().
+  HttpRequest& request() { return request_; }
+
+  /// Resets for the next message on a keep-alive connection.
+  void Reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kDone, kError };
+
+  void ConsumeLine(const std::string& line);
+  void Fail(Status status);
+  void FinishHeaders();
+
+  size_t max_body_;
+  State state_ = State::kRequestLine;
+  Status status_;
+  HttpRequest request_;
+  std::string line_;  ///< partial line accumulated across Feed calls
+  size_t header_count_ = 0;
+  size_t body_expected_ = 0;
+};
 
 /// Parses the request whose request line was already consumed, reading
 /// headers and body from `reader`. Limits: `max_body` bytes (413 beyond).

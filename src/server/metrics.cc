@@ -164,6 +164,23 @@ std::string RenderPrometheus(const ServerMetrics& metrics,
   Counter(&out, "scubed_connections_shed_total",
           metrics.connections_shed.load(std::memory_order_relaxed),
           "Connections refused because the connection queue was full");
+  Counter(&out, "scubed_connections_closed_total",
+          metrics.connections_closed.load(std::memory_order_relaxed),
+          "TCP connections closed (any reason)");
+  Gauge(&out, "scubed_open_connections",
+        static_cast<double>(
+            metrics.open_connections.load(std::memory_order_relaxed)),
+        "Currently open connections (accepted minus closed/shed)");
+  Counter(&out, "scubed_idle_timeout_closes_total",
+          metrics.idle_timeout_closes.load(std::memory_order_relaxed),
+          "Connections dropped by the keep-alive idle timeout");
+  Counter(&out, "scubed_header_deadline_closes_total",
+          metrics.header_deadline_closes.load(std::memory_order_relaxed),
+          "Connections dropped by the header-read deadline "
+          "(slow-loris defence)");
+  Counter(&out, "scubed_reactor_loops_total",
+          metrics.reactor_loops.load(std::memory_order_relaxed),
+          "Reactor event-loop iterations (0 under --frontend=threads)");
   Counter(&out, "scubed_http_requests_total",
           metrics.http_requests.load(std::memory_order_relaxed),
           "HTTP requests handled");

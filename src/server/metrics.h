@@ -43,9 +43,28 @@ Route ClassifyRoute(const net::HttpRequest& request);
 struct ServerMetrics {
   std::atomic<uint64_t> connections{0};       ///< accepted TCP connections
   std::atomic<uint64_t> connections_shed{0};  ///< refused: conn queue full
+  std::atomic<uint64_t> connections_closed{0};  ///< closed (any reason)
   std::atomic<uint64_t> http_requests{0};     ///< HTTP requests handled
   std::atomic<uint64_t> http_errors{0};       ///< 4xx/5xx responses
   std::atomic<uint64_t> line_requests{0};     ///< line-protocol queries
+
+  /// Currently open connections (accepted minus closed/shed) — THE gauge
+  /// the reactor front-end exists to move: it may sit at 10k+ while the
+  /// worker thread count stays fixed.
+  std::atomic<int64_t> open_connections{0};
+
+  /// Connections dropped by the keep-alive idle timeout (no request
+  /// bytes for the idle window).
+  std::atomic<uint64_t> idle_timeout_closes{0};
+
+  /// Connections dropped by the header-read deadline: a peer that began
+  /// a request but did not complete it within the total read cap
+  /// (slow-loris defence, both front-ends).
+  std::atomic<uint64_t> header_deadline_closes{0};
+
+  /// Reactor event-loop iterations (epoll_wait returns). Zero under the
+  /// threaded front-end.
+  std::atomic<uint64_t> reactor_loops{0};
 
   // Streaming read path (POST /query?stream=1).
   std::atomic<uint64_t> streamed_requests{0};  ///< chunked responses begun
@@ -91,6 +110,17 @@ struct ServerMetrics {
 
   void Add(std::atomic<uint64_t>& counter, uint64_t n) {
     counter.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Pairs every accept with Inc(connections); ConnClosed undoes it.
+  void ConnOpened() {
+    Inc(connections);
+    open_connections.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void ConnClosed() {
+    Inc(connections_closed);
+    open_connections.fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// Raises `gauge` to at least `value` (monotonic high-water mark).

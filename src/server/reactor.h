@@ -1,0 +1,185 @@
+// Reactor front-end: one epoll event loop driving every connection over
+// non-blocking sockets, so the open-connection ceiling is the fd limit —
+// not the thread count. Selected with --frontend=reactor; the classic
+// thread-per-connection path stays available (and byte-identical) under
+// --frontend=threads.
+//
+// Division of labour:
+//
+//   loop thread      accept, read, incremental parse (HttpRequestParser),
+//                    non-blocking writes, keep-alive/header timers —
+//                    never blocks on a socket or a query
+//   dispatch pool    runs the router handlers (router.h) for parsed
+//                    requests; query execution stays in the QueryBackend's
+//                    own workers. Streamed responses write through a
+//                    per-connection outbox: the worker blocks on the
+//                    outbox watermark (backpressure), the loop drains it
+//                    to the socket and yields on EAGAIN
+//
+// Per-connection state machine:
+//
+//   READ_HEAD → READ_BODY → DISPATCH → WRITE → (keep-alive reset) → …
+//
+// with a min-heap of lazy-deleted timers enforcing the header-read
+// deadline (first request byte → parse complete) and the keep-alive idle
+// timeout between requests. Stop() is graceful: the listener closes, idle
+// connections drop immediately, in-flight responses drain (bounded by
+// drain_timeout_seconds), then the loop and pool join.
+
+#ifndef SCUBE_SERVER_REACTOR_H_
+#define SCUBE_SERVER_REACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "server/metrics.h"
+#include "server/router.h"
+
+namespace scube {
+namespace server {
+
+/// \brief Reactor tuning (derived from ServerOptions by ScubedServer).
+struct ReactorOptions {
+  /// Handler threads running router dispatch (not query execution —
+  /// that happens in the QueryBackend's own worker pool).
+  size_t num_dispatch_threads = 8;
+
+  /// Keep-alive idle timeout: seconds without request bytes before the
+  /// connection closes.
+  double idle_timeout_seconds = 60.0;
+
+  /// Header-read deadline: first byte of a request to parse complete.
+  /// The slow-loris bound — a byte-at-a-time peer cannot evade it.
+  double header_read_seconds = 10.0;
+
+  /// Open-connection cap; accepts beyond it shed with an immediate 503.
+  size_t max_connections = 60000;
+
+  /// Outbox watermark: a streaming handler blocks once this many
+  /// unwritten response bytes queue up, keeping per-connection memory
+  /// O(watermark) for arbitrarily large streamed answers.
+  size_t max_outbox_bytes = 256 * 1024;
+
+  /// Stop(): seconds granted to in-flight responses before force-close.
+  double drain_timeout_seconds = 5.0;
+};
+
+/// \brief The epoll front-end. Construct, Start(listener), Stop().
+class Reactor {
+ public:
+  Reactor(RouterContext router, ServerMetrics* metrics,
+          ReactorOptions options);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Takes ownership of a bound listener and spawns the loop + dispatch
+  /// threads. IoError when epoll/eventfd setup fails.
+  Status Start(net::ListenSocket listener);
+
+  /// Graceful shutdown (see file comment). Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start, also after Stop).
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Conn;
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point when;
+    uint64_t id = 0;
+    uint64_t gen = 0;
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      return a.when > b.when;
+    }
+  };
+  enum class FlushResult { kDrained, kBlocked, kFailed };
+
+  // Loop thread.
+  void LoopThread();
+  int PollTimeoutMs();
+  void AcceptReady();
+  void OnConnEvent(const std::shared_ptr<Conn>& conn, uint32_t events);
+  void OnReadable(const std::shared_ptr<Conn>& conn);
+  void ParseAvailable(const std::shared_ptr<Conn>& conn);
+  void DispatchHttp(const std::shared_ptr<Conn>& conn);
+  void DispatchLine(const std::shared_ptr<Conn>& conn, std::string line);
+  void BeginDispatch(const std::shared_ptr<Conn>& conn);
+  void RespondParseError(const std::shared_ptr<Conn>& conn);
+  FlushResult FlushOutbox(const std::shared_ptr<Conn>& conn);
+  void HandleWrite(const std::shared_ptr<Conn>& conn);
+  void CompleteResponse(const std::shared_ptr<Conn>& conn, bool close);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void SetInterest(const std::shared_ptr<Conn>& conn, bool read, bool write);
+  void ArmTimer(const std::shared_ptr<Conn>& conn, double seconds);
+  void DisarmTimer(const std::shared_ptr<Conn>& conn);
+  void ProcessTimers();
+  void ProcessReady();
+  void BeginStopInLoop();
+
+  // Dispatch pool.
+  void WorkerLoop();
+  void RunHttpTask(const std::shared_ptr<Conn>& conn);
+  void RunLineTask(const std::shared_ptr<Conn>& conn);
+  void FinishResponse(const std::shared_ptr<Conn>& conn, bool close);
+
+  /// Worker-side response write: appends to the connection outbox, wakes
+  /// the loop, and blocks while the outbox exceeds the watermark (the
+  /// worker yields; the loop never blocks). IoError once the connection
+  /// closed under the writer.
+  Status EnqueueOutput(const std::shared_ptr<Conn>& conn,
+                       std::string_view data);
+
+  /// Queues a loop wake-up for `id` (eventfd).
+  void NotifyReady(uint64_t id);
+
+  RouterContext router_;
+  ServerMetrics* metrics_;
+  ReactorOptions options_;
+
+  net::ListenSocket listener_;
+  uint16_t port_ = 0;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stop_begun_ = false;  ///< loop-thread: shutdown sequence entered
+  std::chrono::steady_clock::time_point stop_deadline_{};
+
+  uint64_t next_conn_id_ = 2;  ///< 0 = listener, 1 = wake eventfd
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater>
+      timers_;
+
+  std::mutex ready_mu_;
+  std::vector<uint64_t> ready_;
+
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<std::shared_ptr<Conn>> tasks_;
+  bool workers_stop_ = false;
+
+  std::thread loop_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace server
+}  // namespace scube
+
+#endif  // SCUBE_SERVER_REACTOR_H_

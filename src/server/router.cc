@@ -33,6 +33,16 @@ void ObserveVerbs(const RouterContext& ctx,
   }
 }
 
+/// Retroactive "conn.read" span: the request's socket-read window
+/// (request line to parse complete), stamped by the connection front-end.
+/// Unstamped requests (both time points at the epoch) record nothing.
+void MaybeRecordConnRead(trace::TraceContext* tc,
+                         const net::HttpRequest& request) {
+  if (tc != nullptr && request.read_end > request.read_start) {
+    tc->Record("conn.read", request.read_start, request.read_end);
+  }
+}
+
 net::HttpResponse JsonError(int status, const std::string& message) {
   net::HttpResponse resp(status, "{\"error\":" + JsonQuote(message) + "}\n");
   return resp;
@@ -105,6 +115,7 @@ net::HttpResponse HandleQuery(const RouterContext& ctx,
   if (ShouldTrace(ctx, request)) tc.emplace();
   qctx.trace = tc ? &*tc : nullptr;
   qctx.allow_partial = request.Param("allow_partial") == "1";
+  MaybeRecordConnRead(qctx.trace, request);
 
   std::vector<std::string> statements = SplitStatements(request.body);
   if (statements.empty()) {
@@ -336,6 +347,7 @@ bool HandleQueryStream(const RouterContext& ctx,
   if (ShouldTrace(ctx, request)) tc.emplace();
   qctx.trace = tc ? &*tc : nullptr;
   qctx.allow_partial = request.Param("allow_partial") == "1";
+  MaybeRecordConnRead(qctx.trace, request);
 
   std::vector<std::string> statements = SplitStatements(request.body);
   if (validation.empty() && statements.size() != 1) {
@@ -366,7 +378,21 @@ bool HandleQueryStream(const RouterContext& ctx,
     qctx.merge_keys = true;
   }
 
-  net::ChunkedWriter writer(write);
+  // "conn.write" wraps the raw connection write: on the threaded
+  // front-end that is the blocking socket write, on the reactor it is the
+  // outbox enqueue including any backpressure wait — either way, the time
+  // this response spent pushing bytes toward the peer (nests under
+  // wire.flush in the span tree).
+  net::ChunkedWriter::WriteFn traced_write = write;
+  if (qctx.trace != nullptr) {
+    trace::TraceContext* trace_ptr = qctx.trace;
+    traced_write = [write, trace_ptr](std::string_view data) {
+      trace::Span span(trace_ptr, "conn.write");
+      return write(data);
+    };
+  }
+
+  net::ChunkedWriter writer(traced_write);
   writer.set_trace(qctx.trace);
   std::string prefix =
       format == "json"

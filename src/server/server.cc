@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "server/reactor.h"
 
 namespace scube {
 namespace server {
@@ -30,12 +32,40 @@ ScubedServer::ScubedServer(query::QueryService* service,
 
 ScubedServer::~ScubedServer() { Stop(); }
 
+uint16_t ScubedServer::port() const {
+  return reactor_ ? reactor_->port() : listener_.port();
+}
+
+double ScubedServer::EffectiveIdleTimeout() const {
+  if (options_.idle_timeout_seconds > 0) return options_.idle_timeout_seconds;
+  return options_.idle_poll_seconds *
+         static_cast<double>(options_.max_idle_polls);
+}
+
 Status ScubedServer::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
   auto listener = net::ListenSocket::Bind(options_.port,
                                           options_.loopback_only);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(listener).value();
+
+  if (options_.frontend == Frontend::kReactor) {
+    ReactorOptions ropts;
+    ropts.num_dispatch_threads = options_.num_connection_threads;
+    ropts.idle_timeout_seconds = EffectiveIdleTimeout();
+    ropts.header_read_seconds = options_.request_read_seconds;
+    ropts.max_connections = options_.max_connections;
+    ropts.drain_timeout_seconds = options_.drain_timeout_seconds;
+    reactor_ = std::make_unique<Reactor>(router_, &metrics_, ropts);
+    Status s = reactor_->Start(std::move(listener_));
+    if (!s.ok()) {
+      reactor_.reset();
+      return s;
+    }
+    started_ = true;
+    running_.store(true, std::memory_order_release);
+    return Status::OK();
+  }
 
   started_ = true;
   running_.store(true, std::memory_order_release);
@@ -51,6 +81,10 @@ void ScubedServer::Stop() {
   if (!started_) return;
   started_ = false;
   running_.store(false, std::memory_order_release);
+  if (reactor_) {
+    reactor_->Stop();
+    return;
+  }
   // Wake the blocked accept() without closing the fd: the fd number must
   // not be reused by a concurrent connection while accept() still holds
   // it. The actual close happens after the acceptor is joined.
@@ -64,6 +98,7 @@ void ScubedServer::Stop() {
   handlers_.clear();
   // Connections still queued but never handled just close (RAII).
   std::lock_guard<std::mutex> lock(conn_mu_);
+  for (size_t i = 0; i < pending_.size(); ++i) metrics_.ConnClosed();
   pending_.clear();
 }
 
@@ -78,7 +113,7 @@ void ScubedServer::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    metrics_.Inc(metrics_.connections);
+    metrics_.ConnOpened();
     net::Socket socket = std::move(accepted).value();
     bool shed = false;
     {
@@ -96,6 +131,7 @@ void ScubedServer::AcceptLoop() {
                              "{\"error\":\"connection queue full\"}\n");
       resp.SetHeader("Retry-After", "1");
       socket.WriteAll(net::SerializeResponse(resp, /*keep_alive=*/false));
+      metrics_.ConnClosed();
       continue;  // socket closes via RAII
     }
     conn_cv_.notify_one();
@@ -115,21 +151,39 @@ void ScubedServer::ConnectionLoop() {
       pending_.pop_front();
     }
     ServeConnection(std::move(socket));
+    metrics_.ConnClosed();
   }
 }
 
 std::optional<std::string> ScubedServer::NextLine(
     net::BufferedReader* reader) {
-  for (size_t idle = 0; idle < options_.max_idle_polls; ++idle) {
+  const double idle_timeout = EffectiveIdleTimeout();
+  // Total wall cap on getting one line. The per-read SO_RCVTIMEO alone is
+  // defeatable by a peer trickling a byte per tick (each byte resets the
+  // timer); this deadline is not.
+  reader->set_deadline(std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(idle_timeout)));
+  const size_t max_polls = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             idle_timeout / std::max(options_.idle_poll_seconds, 1e-3))));
+  for (size_t idle = 0; idle < max_polls; ++idle) {
     auto line = reader->ReadLine();
-    if (line.ok()) return std::move(line).value();
+    if (line.ok()) {
+      reader->clear_deadline();
+      return std::move(line).value();
+    }
     // A receive timeout is the idle poll tick: keep waiting while the
     // server runs, close once it stops (this bounds Stop() latency).
     if (line.status().code() != StatusCode::kDeadlineExceeded ||
         !running()) {
+      reader->clear_deadline();
       return std::nullopt;
     }
   }
+  reader->clear_deadline();
+  metrics_.Inc(metrics_.idle_timeout_closes);
   return std::nullopt;  // idle timeout
 }
 
@@ -154,20 +208,39 @@ void ScubedServer::ServeHttp(net::Socket* socket,
   while (true) {
     // Mid-request reads (headers, body) get the longer request-read
     // bound; the short idle-poll timeout is only for the gap *between*
-    // requests, where it doubles as the shutdown poll tick.
+    // requests, where it doubles as the shutdown poll tick. The reader
+    // deadline caps the request's TOTAL read time — the per-read timeout
+    // alone is defeatable by a slow loris dripping a byte per tick.
+    const auto read_start = std::chrono::steady_clock::now();
     socket->SetRecvTimeout(options_.request_read_seconds);
+    reader->set_deadline(
+        read_start +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.request_read_seconds)));
     auto parsed = net::ReadHttpRequest(reader, request_line);
+    reader->clear_deadline();
     socket->SetRecvTimeout(options_.idle_poll_seconds);
     net::HttpResponse response;
     bool keep_alive = false;
     bool head = false;
     bool streamed = parsed.ok() && IsStreamingQuery(*parsed);
     if (!parsed.ok()) {
-      response = net::HttpResponse(
-          400, "{\"error\":" + JsonQuote(parsed.status().message()) + "}\n");
+      if (parsed.status().code() == StatusCode::kDeadlineExceeded) {
+        metrics_.Inc(metrics_.header_deadline_closes);
+        response = net::HttpResponse(
+            408, "{\"error\":\"request read timed out\"}\n");
+      } else {
+        response = net::HttpResponse(
+            400,
+            "{\"error\":" + JsonQuote(parsed.status().message()) + "}\n");
+      }
     } else {
       keep_alive = parsed->keep_alive && running();
       head = parsed->method == "HEAD";
+      // Stamp the read window so handlers can record a retroactive
+      // conn.read span (request line to parse complete).
+      parsed->read_start = read_start;
+      parsed->read_end = std::chrono::steady_clock::now();
     }
     metrics_.Inc(metrics_.http_requests);
     // Route latency: handler entry (request fully read) to last byte

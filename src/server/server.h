@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -40,6 +41,14 @@
 
 namespace scube {
 namespace server {
+
+class Reactor;
+
+/// Which connection front-end drives the sockets (--frontend flag).
+enum class Frontend {
+  kThreads,  ///< acceptor + bounded queue + thread-per-connection pool
+  kReactor,  ///< one epoll event loop + dispatch pool (reactor.h)
+};
 
 /// \brief Connection-level tuning.
 struct ServerOptions {
@@ -82,6 +91,24 @@ struct ServerOptions {
 
   /// Trace every request even without ?debug=trace (--trace flag).
   bool trace_all = false;
+
+  /// Connection front-end. Both serve every route byte-identically; the
+  /// reactor holds 10k+ mostly-idle keep-alive connections on a fixed
+  /// thread count where the threaded path needs a thread per connection.
+  Frontend frontend = Frontend::kThreads;
+
+  /// Keep-alive idle timeout in seconds (--idle-timeout-ms). 0 derives
+  /// it as idle_poll_seconds * max_idle_polls; both front-ends honour
+  /// the effective value.
+  double idle_timeout_seconds = 0;
+
+  /// Reactor only: open-connection cap beyond which accepts shed with an
+  /// immediate 503 (the threaded path's cap is its thread pool + queue).
+  size_t max_connections = 60000;
+
+  /// Reactor only: seconds Stop() grants in-flight responses to drain
+  /// before force-closing.
+  double drain_timeout_seconds = 5.0;
 };
 
 /// \brief The scubed serving front-end. Start() spawns threads; Stop()
@@ -107,7 +134,7 @@ class ScubedServer {
   void Stop();
 
   /// The bound port (valid after Start()).
-  uint16_t port() const { return listener_.port(); }
+  uint16_t port() const;
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -127,6 +154,10 @@ class ScubedServer {
   /// or idle timeout).
   std::optional<std::string> NextLine(net::BufferedReader* reader);
 
+  /// The keep-alive idle timeout both front-ends enforce (explicit
+  /// idle_timeout_seconds, or derived from the idle-poll tick budget).
+  double EffectiveIdleTimeout() const;
+
   query::QueryBackend* backend_;
   ServerOptions options_;
   ServerMetrics metrics_;
@@ -136,6 +167,10 @@ class ScubedServer {
   net::ListenSocket listener_;
   std::atomic<bool> running_{false};
   bool started_ = false;
+
+  /// Non-null iff frontend == kReactor (owns the event loop + dispatch
+  /// pool; kept after Stop() so port() stays readable).
+  std::unique_ptr<Reactor> reactor_;
 
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;

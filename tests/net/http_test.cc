@@ -308,6 +308,119 @@ TEST(BufferedReaderTest, SplitsLinesAcrossReads) {
   EXPECT_FALSE(reader.ReadLine().ok());                // EOF
 }
 
+TEST(HttpRequestParserTest, ParsesByteAtATime) {
+  const std::string wire =
+      "POST /query?stream=1 HTTP/1.1\r\n"
+      "Host: t\r\n"
+      "Content-Length: 14\r\n"
+      "\r\n"
+      "SLICE sa=sex=F";
+  HttpRequestParser parser;
+  for (char c : wire) {
+    ASSERT_FALSE(parser.failed()) << parser.status();
+    EXPECT_EQ(parser.Feed(std::string_view(&c, 1)), 1u);
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().path, "/query");
+  EXPECT_EQ(parser.request().Param("stream"), "1");
+  EXPECT_EQ(parser.request().Header("host"), "t");
+  EXPECT_EQ(parser.request().body, "SLICE sa=sex=F");
+  EXPECT_TRUE(parser.request().keep_alive);
+}
+
+TEST(HttpRequestParserTest, SurvivesSplitsAtEveryBoundary) {
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  // Every two-fragment split of the message must parse identically.
+  for (size_t cut = 1; cut < wire.size(); ++cut) {
+    HttpRequestParser parser;
+    EXPECT_EQ(parser.Feed(wire.substr(0, cut)), cut);
+    EXPECT_EQ(parser.Feed(wire.substr(cut)), wire.size() - cut);
+    ASSERT_TRUE(parser.done()) << "cut at " << cut;
+    EXPECT_EQ(parser.request().path, "/healthz");
+    EXPECT_FALSE(parser.request().keep_alive);
+  }
+}
+
+TEST(HttpRequestParserTest, StopsAtMessageEndForPipelining) {
+  const std::string first =
+      "POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nTOPK";
+  const std::string second = "GET /cubes HTTP/1.1\r\n\r\n";
+  HttpRequestParser parser;
+  // Both messages offered at once: Feed must stop at the first boundary
+  // so the leftover bytes stay queued for the next request.
+  EXPECT_EQ(parser.Feed(first + second), first.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "TOPK");
+
+  parser.Reset();
+  EXPECT_FALSE(parser.done());
+  EXPECT_EQ(parser.Feed(second), second.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/cubes");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpRequestParserTest, TracksBodyProgress) {
+  HttpRequestParser parser;
+  parser.Feed("POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\n");
+  EXPECT_TRUE(parser.in_body());
+  EXPECT_EQ(parser.body_expected(), 10u);
+  parser.Feed("12345");
+  EXPECT_EQ(parser.body_received(), 5u);
+  EXPECT_FALSE(parser.done());
+  parser.Feed("67890");
+  EXPECT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "1234567890");
+}
+
+TEST(HttpRequestParserTest, ErrorsMatchTheBlockingReaderMessages) {
+  // The incremental parser and ReadHttpRequest share one grammar; their
+  // rejections must carry the same status text so the two front-ends
+  // answer malformed requests with identical 400 bodies.
+  auto blocking_error = [](const std::string& wire) {
+    Pair pair;
+    EXPECT_TRUE(pair.feeder.WriteAll(wire).ok());
+    pair.feeder.Close();
+    BufferedReader reader(&pair.reader_socket);
+    auto line = reader.ReadLine();
+    EXPECT_TRUE(line.ok());
+    auto parsed = ReadHttpRequest(&reader, *line);
+    EXPECT_FALSE(parsed.ok());
+    return parsed.status();
+  };
+  auto incremental_error = [](const std::string& wire) {
+    HttpRequestParser parser;
+    parser.Feed(wire);
+    EXPECT_TRUE(parser.failed());
+    return parser.status();
+  };
+  for (const char* wire :
+       {"BROKEN\r\n\r\n",
+        "GET / HTTP/9.9\r\n\r\n",
+        "POST /query HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+        "POST /query HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+        "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"}) {
+    const Status blocking = blocking_error(wire);
+    const Status incremental = incremental_error(wire);
+    EXPECT_EQ(blocking.code(), incremental.code()) << wire;
+    EXPECT_EQ(blocking.message(), incremental.message()) << wire;
+  }
+}
+
+TEST(HttpRequestParserTest, ResetClearsFailureState) {
+  HttpRequestParser parser;
+  parser.Feed("BROKEN\r\n");
+  ASSERT_TRUE(parser.failed());
+  parser.Reset();
+  EXPECT_FALSE(parser.failed());
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\n\r\n"),
+            std::string("GET / HTTP/1.1\r\n\r\n").size());
+  EXPECT_TRUE(parser.done());
+}
+
 TEST(ListenSocketTest, LoopbackConnectAndEcho) {
   auto listener = ListenSocket::Bind(0, /*loopback_only=*/true);
   ASSERT_TRUE(listener.ok()) << listener.status();
