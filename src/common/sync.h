@@ -1,0 +1,213 @@
+// Annotated synchronisation primitives: the ONLY place in src/ that may
+// include <mutex> or <condition_variable> (tools/lint.py enforces this).
+//
+// Every lock in the serving and build paths is a sync::Mutex, every
+// shared field is marked GUARDED_BY, and every lock-requiring private
+// method REQUIRES — so Clang's thread-safety analysis
+// (-DSCUBE_THREAD_SAFETY=ON, clang only) proves the lock discipline for
+// every call path at compile time. TSan still runs in CI, but it can only
+// see interleavings a test happens to produce; the analysis covers them
+// all. Under gcc (and any compiler without the attributes) the macros
+// expand to nothing and the types behave exactly like std::mutex /
+// std::condition_variable wrappers.
+//
+// The macro set follows the Clang thread-safety reference
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   CAPABILITY / SCOPED_CAPABILITY    class-level: a lock / an RAII scope
+//   GUARDED_BY / PT_GUARDED_BY        data members (value / pointee)
+//   REQUIRES / REQUIRES_SHARED        caller must hold the lock
+//   ACQUIRE / RELEASE (+ _SHARED)     functions that take / drop it
+//   TRY_ACQUIRE                       conditional acquisition
+//   EXCLUDES                          caller must NOT hold it (deadlock)
+//   ASSERT_CAPABILITY                 runtime assertion the analysis trusts
+//   RETURN_CAPABILITY                 getters returning a lock reference
+//   NO_THREAD_SAFETY_ANALYSIS         last resort; every use needs a
+//                                     justifying comment (lint-audited)
+//
+// Debug builds additionally track the holding thread, so
+// Mutex::AssertHeld() aborts when the caller does not hold the lock —
+// the dynamic twin of ASSERT_CAPABILITY for gcc builds and for code the
+// analysis cannot see through.
+
+#ifndef SCUBE_COMMON_SYNC_H_
+#define SCUBE_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+#endif
+
+#include "common/logging.h"
+
+// --- thread-safety attribute macros ----------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SCUBE_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef SCUBE_THREAD_ANNOTATION__
+#define SCUBE_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) SCUBE_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY SCUBE_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) SCUBE_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) SCUBE_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  SCUBE_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SCUBE_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  SCUBE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SCUBE_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  SCUBE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SCUBE_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  SCUBE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SCUBE_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SCUBE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) SCUBE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SCUBE_THREAD_ANNOTATION__(assert_capability(x))
+#define RETURN_CAPABILITY(x) SCUBE_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SCUBE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace scube {
+namespace sync {
+
+/// \brief Annotated exclusive mutex. Identical cost to std::mutex in
+/// release builds; debug builds track the holder for AssertHeld().
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    DebugSetHolder();
+  }
+
+  void Unlock() RELEASE() {
+    DebugClearHolder();
+    mu_.unlock();
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    DebugSetHolder();
+    return true;
+  }
+
+  /// Aborts in debug builds when the calling thread does not hold the
+  /// lock; tells the static analysis the capability is held either way.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifndef NDEBUG
+    SCUBE_CHECK(holder_.load(std::memory_order_relaxed) ==
+                std::this_thread::get_id());
+#endif
+  }
+
+ private:
+  friend class CondVar;
+
+#ifndef NDEBUG
+  void DebugSetHolder() {
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  void DebugClearHolder() {
+    holder_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+#else
+  void DebugSetHolder() {}
+  void DebugClearHolder() {}
+#endif
+
+  std::mutex mu_;
+#ifndef NDEBUG
+  std::atomic<std::thread::id> holder_{};
+#endif
+};
+
+/// \brief RAII lock scope: acquires in the constructor, releases in the
+/// destructor. The annotated replacement for std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief RAII lock scope whose critical section can end before the
+/// scope does (drop the lock, then notify / do slow work). Release() at
+/// most once; the destructor releases only when Release() did not run.
+class SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+
+  ~ReleasableMutexLock() RELEASE() {
+    if (!released_) mu_->Unlock();
+  }
+
+  void Release() RELEASE() {
+    SCUBE_CHECK(!released_);
+    released_ = true;
+    mu_->Unlock();
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+  bool released_ = false;
+};
+
+/// \brief Condition variable paired with sync::Mutex. Wait() has the
+/// usual spurious-wakeup contract — callers loop on their predicate:
+///
+///   sync::MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; re-acquires before returning.
+  /// The analysis (correctly) treats the lock as held across the call.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    mu->DebugClearHolder();
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+    mu->DebugSetHolder();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sync
+}  // namespace scube
+
+#endif  // SCUBE_COMMON_SYNC_H_
