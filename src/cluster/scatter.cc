@@ -407,13 +407,13 @@ ScatterExecutor::~ScatterExecutor() = default;
 query::StreamOutcome ScatterExecutor::ExecuteStreaming(
     const std::string& text, query::RowSink& sink,
     const query::QueryContext& ctx, const std::string& cursor) {
-  std::lock_guard<std::mutex> lock(request_mu_);
+  sync::MutexLock lock(&request_mu_);
   return ScatterLocked(text, sink, ctx, cursor);
 }
 
 std::vector<query::QueryResponse> ScatterExecutor::ExecuteBatch(
     const std::vector<std::string>& texts, const query::QueryContext& ctx) {
-  std::lock_guard<std::mutex> lock(request_mu_);
+  sync::MutexLock lock(&request_mu_);
   std::vector<query::QueryResponse> responses;
   responses.reserve(texts.size());
   for (const std::string& text : texts) {
@@ -448,7 +448,7 @@ query::ServiceStats ScatterExecutor::stats() const {
 }
 
 std::vector<query::CubeInfo> ScatterExecutor::ListCubes() const {
-  std::lock_guard<std::mutex> lock(request_mu_);
+  sync::MutexLock lock(&request_mu_);
   const size_t n = clients_.size();
   std::vector<std::vector<query::CubeInfo>> per(n);
   std::vector<char> responded(n, 0);

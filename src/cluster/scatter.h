@@ -46,12 +46,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "cluster/shard_client.h"
@@ -130,15 +130,23 @@ class ScatterExecutor : public query::QueryBackend {
   query::StreamOutcome ScatterLocked(const std::string& text,
                                      query::RowSink& sink,
                                      const query::QueryContext& ctx,
-                                     const std::string& cursor);
+                                     const std::string& cursor)
+      REQUIRES(request_mu_);
 
   ScatterOptions options_;
+
+  /// The vector itself is const after construction (safe to size/iterate
+  /// anywhere); each ShardClient's connection state is single-flight and
+  /// only touched under request_mu_ — not expressible through
+  /// vector<unique_ptr>, so the discipline is documented here. The
+  /// atomic health counters inside ShardClient are the exception: they
+  /// exist precisely so /metrics can read them off-lock.
   std::vector<std::unique_ptr<ShardClient>> clients_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_ PT_GUARDED_BY(request_mu_);
 
   /// Serialises requests: the shard connection pool (and the per-shard
   /// merge state) is single-flight by design.
-  mutable std::mutex request_mu_;
+  mutable sync::Mutex request_mu_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> completed_{0};

@@ -109,6 +109,12 @@ class ShardClient {
   size_t rr_ = 0;              ///< round-robin cursor
   size_t stream_replica_ = 0;  ///< replica serving the active stream
 
+  /// Health counters are atomics on purpose, not GUARDED_BY a mutex: the
+  /// single writer is the request path (serialised by the scatter layer's
+  /// request_mu_ per the class contract above), while /metrics reads
+  /// health() from server threads concurrently. fetch_add/store(0) from
+  /// one thread + relaxed loads from others is race-free by construction;
+  /// audited during the thread-safety annotation pass.
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> consecutive_{0};

@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
 
+#include "common/sync.h"
 #include "common/trace.h"
 
 namespace scube {
@@ -14,7 +14,7 @@ namespace scube {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::atomic<bool> g_quiet{false};
-std::mutex g_sink_mutex;
+sync::Mutex g_sink_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -78,7 +78,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (g_quiet.load()) return;
   if (static_cast<int>(level_) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sync::MutexLock lock(&g_sink_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -25,10 +25,10 @@ struct ThreadPool::ForState {
   std::atomic<size_t> next_worker{1};  // helper worker ids (caller is 0)
   std::atomic<bool> cancelled{false};
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t in_flight = 0;  // helpers currently inside Drain()
-  std::exception_ptr error;
+  sync::Mutex mu;
+  sync::CondVar cv;
+  size_t in_flight GUARDED_BY(mu) = 0;  // helpers currently inside Drain()
+  std::exception_ptr error GUARDED_BY(mu);
 
   // Claims and runs indices until the range is exhausted or cancelled.
   // `fn` is only dereferenced for a successfully claimed index; every
@@ -41,7 +41,7 @@ struct ThreadPool::ForState {
       try {
         (*fn)(worker, i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        sync::MutexLock lock(&mu);
         if (!error) error = std::current_exception();
         cancelled.store(true, std::memory_order_relaxed);
       }
@@ -59,10 +59,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -71,8 +71,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      sync::MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain before exiting, so ~ThreadPool never abandons a future.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -90,13 +90,13 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     queue_.emplace_back(
         [t = std::make_shared<std::packaged_task<void()>>(std::move(task))] {
           (*t)();
         });
   }
-  cv_.notify_one();
+  cv_.Signal();
   return future;
 }
 
@@ -117,24 +117,24 @@ void ThreadPool::ParallelFor(
   // Helpers beyond the range size (or the pool size) would only contend.
   size_t helpers = std::min({workers - 1, n - 1, num_threads()});
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     for (size_t h = 0; h < helpers; ++h) {
       queue_.emplace_back([state] {
         size_t worker = state->next_worker.fetch_add(1);
         {
-          std::lock_guard<std::mutex> lock(state->mu);
+          sync::MutexLock lock(&state->mu);
           ++state->in_flight;
         }
         state->Drain(worker);
         {
-          std::lock_guard<std::mutex> lock(state->mu);
+          sync::MutexLock lock(&state->mu);
           --state->in_flight;
         }
-        state->cv.notify_all();
+        state->cv.SignalAll();
       });
     }
   }
-  cv_.notify_all();
+  cv_.SignalAll();
 
   state->Drain(/*worker=*/0);  // the caller participates
 
@@ -142,8 +142,8 @@ void ThreadPool::ParallelFor(
   // Not-yet-started helpers will find the range exhausted and exit
   // without touching `fn` or the caller's stack.
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->in_flight == 0; });
+    sync::MutexLock lock(&state->mu);
+    while (state->in_flight != 0) state->cv.Wait(&state->mu);
     if (state->error) std::rethrow_exception(state->error);
   }
 }

@@ -31,14 +31,14 @@
 #ifndef SCUBE_COMMON_THREAD_POOL_H_
 #define SCUBE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace scube {
 
@@ -87,10 +87,10 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -25,7 +25,7 @@ uint64_t CubeStore::Publish(const std::string& name,
       new Executor(*snapshot),
       [snapshot](const Executor* e) { delete e; });
   index_span.End();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Entry& entry = entries_[name];
   uint64_t version = ++entry.latest;
   entry.versions.push_back(
@@ -38,7 +38,7 @@ uint64_t CubeStore::Publish(const std::string& name,
 
 CubeStore::Snapshot CubeStore::Get(const std::string& name,
                                    uint64_t* version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   bool found = it != entries_.end() && !it->second.versions.empty();
   if (version != nullptr) {
@@ -49,7 +49,7 @@ CubeStore::Snapshot CubeStore::Get(const std::string& name,
 
 CubeStore::Snapshot CubeStore::GetVersion(const std::string& name,
                                           uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;
   for (const SealedVersion& sealed : it->second.versions) {
@@ -60,7 +60,7 @@ CubeStore::Snapshot CubeStore::GetVersion(const std::string& name,
 
 std::shared_ptr<const Executor> CubeStore::GetExecutor(
     const std::string& name, uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;
   for (const SealedVersion& sealed : it->second.versions) {
@@ -70,14 +70,14 @@ std::shared_ptr<const Executor> CubeStore::GetExecutor(
 }
 
 uint64_t CubeStore::Version(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second.latest;
 }
 
 std::vector<uint64_t> CubeStore::RetainedVersions(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = entries_.find(name);
   std::vector<uint64_t> out;
   if (it == entries_.end()) return out;
@@ -91,7 +91,7 @@ std::vector<uint64_t> CubeStore::RetainedVersions(
 std::vector<std::string> CubeStore::Names() const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     names.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) names.push_back(name);
   }
@@ -114,7 +114,7 @@ std::optional<QueryResult> ResultCache::Get(
     const std::string& cube, uint64_t version,
     const std::string& canonical_query) {
   std::string key = MakeKey(cube, version, canonical_query);
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -131,7 +131,7 @@ void ResultCache::Put(const std::string& cube, uint64_t version,
                       QueryResult result) {
   if (capacity_ == 0) return;
   std::string key = MakeKey(cube, version, canonical_query);
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->result = std::move(result);
@@ -156,7 +156,7 @@ std::vector<std::string> ResultCache::Hottest(const std::string& cube,
   // sort's tie-break is recency.
   std::vector<std::pair<std::string, uint64_t>> ranked;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     std::unordered_map<std::string, size_t> slot;  // canonical -> ranked idx
     for (const Entry& e : lru_) {
       if (e.cube != cube) continue;
@@ -180,17 +180,17 @@ std::vector<std::string> ResultCache::Hottest(const std::string& cube,
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return stats_;
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return lru_.size();
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
 }

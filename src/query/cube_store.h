@@ -19,12 +19,12 @@
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/trace.h"
 #include "cube/cube.h"
 #include "cube/cube_view.h"
@@ -105,8 +105,8 @@ class CubeStore {
     std::deque<SealedVersion> versions;
   };
   const size_t max_versions_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable sync::Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 /// Publishes the cube a pipeline run produced. The rest of the
@@ -166,11 +166,11 @@ class ResultCache {
   static std::string MakeKey(const std::string& cube, uint64_t version,
                              const std::string& canonical_query);
 
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_;
   size_t capacity_;
-  LruList lru_;  ///< front = most recent
-  std::unordered_map<std::string, LruList::iterator> index_;
-  Stats stats_;
+  LruList lru_ GUARDED_BY(mu_);  ///< front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace query

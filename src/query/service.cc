@@ -136,17 +136,17 @@ QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    sync::MutexLock lock(&queue_mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.SignalAll();
   // Workers drain the queue before exiting, so every admitted batch's
   // chunks still execute and their ExecuteBatch callers return normally.
   // join_mu_ serialises concurrent Shutdown() callers: every caller
   // (including the destructor) blocks until the join has finished, so
   // no caller can start tearing the service down while another is still
   // joining.
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  sync::MutexLock join_lock(&join_mu_);
   if (joined_) return;
   for (std::thread& worker : workers_) worker.join();
   joined_ = true;
@@ -156,8 +156,8 @@ void QueryService::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      sync::MutexLock lock(&queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(&queue_mu_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -176,12 +176,12 @@ ServiceStats QueryService::stats() const {
 }
 
 size_t QueryService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  sync::MutexLock lock(&queue_mu_);
   return queue_.size();
 }
 
 Status QueryService::AdmitOrShed(bool stream) {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  sync::MutexLock lock(&queue_mu_);
   if (stopping_) return Status::Unavailable("service is shutting down");
   const size_t backlog =
       queue_.size() + streams_in_flight_.load(std::memory_order_relaxed);
@@ -356,9 +356,10 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
     }
   }
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t remaining = chunks.size();
+  sync::Mutex done_mu;
+  sync::CondVar done_cv;
+  size_t remaining = chunks.size();  // guarded by done_mu (local: the
+                                     // analysis cannot annotate locals)
 
   auto run_chunk = [this, &done_mu, &done_cv, &remaining](Chunk* chunk) {
     if (chunk->ctx.trace != nullptr) {
@@ -421,9 +422,9 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
       // Notify while holding the lock: the batch thread cannot observe
       // remaining == 0 (and destroy done_cv) before this worker is done
       // touching it.
-      std::lock_guard<std::mutex> lock(done_mu);
+      sync::MutexLock lock(&done_mu);
       --remaining;
-      done_cv.notify_one();
+      done_cv.Signal();
     }
   };
 
@@ -432,7 +433,7 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   // later enqueue would hang this batch forever).
   bool enqueued = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    sync::MutexLock lock(&queue_mu_);
     if (!stopping_) {
       const auto now = QueryContext::Clock::now();
       for (auto& chunk_ptr : chunks) {
@@ -445,9 +446,9 @@ std::vector<QueryResponse> QueryService::ExecuteBatch(
   }
   uint64_t shed_in_race = 0;
   if (enqueued) {
-    queue_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+    queue_cv_.SignalAll();
+    sync::MutexLock lock(&done_mu);
+    while (remaining != 0) done_cv.Wait(&done_mu);
   } else {
     // Lost the race with Shutdown(): answer the misses as shed. They
     // move from accepted to rejected (and are not completed), keeping

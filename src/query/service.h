@@ -24,16 +24,15 @@
 #define SCUBE_QUERY_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "query/ast.h"
 #include "query/backend.h"
 #include "query/context.h"
@@ -191,13 +190,13 @@ class QueryService : public QueryBackend {
   /// toward the admission backlog alongside queue_.size().
   std::atomic<uint64_t> streams_in_flight_{0};
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable sync::Mutex queue_mu_;
+  sync::CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(queue_mu_);
+  bool stopping_ GUARDED_BY(queue_mu_) = false;
 
-  std::mutex join_mu_;    ///< serialises the join in Shutdown()
-  bool joined_ = false;   ///< guarded by join_mu_
+  sync::Mutex join_mu_;  ///< serialises the join in Shutdown()
+  bool joined_ GUARDED_BY(join_mu_) = false;
   std::vector<std::thread> workers_;
 };
 

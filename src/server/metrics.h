@@ -3,6 +3,11 @@
 // here; query admission/deadline counters plus backend-specific series
 // (queue depth and cache counters for a QueryService, per-shard fanout
 // series for a scatter router) come from the QueryBackend at render time.
+//
+// Thread-safety: counters are relaxed atomics (monotonic increments read
+// at render time; exactness across a concurrent render is not promised),
+// so there is no mutex here to annotate — audited as lock-free during the
+// thread-safety annotation pass (common/sync.h).
 
 #ifndef SCUBE_SERVER_METRICS_H_
 #define SCUBE_SERVER_METRICS_H_

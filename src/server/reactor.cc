@@ -68,12 +68,12 @@ struct Reactor::Conn {
   std::string pending_line;
 
   // Loop ↔ worker response channel.
-  std::mutex mu;
-  std::condition_variable drain_cv;
-  std::string outbox;                 ///< guarded by mu
-  size_t outbox_pos = 0;              ///< guarded by mu
-  bool response_done = false;         ///< guarded by mu
-  bool close_after_response = false;  ///< guarded by mu
+  sync::Mutex mu;
+  sync::CondVar drain_cv;
+  std::string outbox GUARDED_BY(mu);
+  size_t outbox_pos GUARDED_BY(mu) = 0;
+  bool response_done GUARDED_BY(mu) = false;
+  bool close_after_response GUARDED_BY(mu) = false;
   std::atomic<bool> closed{false};
 };
 
@@ -141,15 +141,18 @@ void Reactor::Stop() {
   NotifyReady(kWakeTag);  // wake the loop so it notices `stopping_`
   if (loop_.joinable()) loop_.join();
   {
-    std::lock_guard<std::mutex> lock(task_mu_);
+    sync::MutexLock lock(&task_mu_);
     workers_stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.SignalAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  tasks_.clear();
+  {
+    sync::MutexLock lock(&task_mu_);
+    tasks_.clear();
+  }
   if (epoll_fd_ >= 0) {
     close(epoll_fd_);
     epoll_fd_ = -1;
@@ -410,10 +413,10 @@ void Reactor::BeginDispatch(const std::shared_ptr<Conn>& conn) {
   // in the kernel buffer, which bounds the inbox.
   SetInterest(conn, /*read=*/false, conn->want_write);
   {
-    std::lock_guard<std::mutex> lock(task_mu_);
+    sync::MutexLock lock(&task_mu_);
     tasks_.push_back(conn);
   }
-  task_cv_.notify_one();
+  task_cv_.Signal();
 }
 
 void Reactor::RespondParseError(const std::shared_ptr<Conn>& conn) {
@@ -430,7 +433,7 @@ void Reactor::RespondParseError(const std::shared_ptr<Conn>& conn) {
   conn->reading_request = false;
   conn->in_dispatch = true;  // response in flight; no further parsing
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    sync::MutexLock lock(&conn->mu);
     conn->outbox.append(wire);
     conn->response_done = true;
     conn->close_after_response = true;
@@ -440,7 +443,7 @@ void Reactor::RespondParseError(const std::shared_ptr<Conn>& conn) {
 }
 
 Reactor::FlushResult Reactor::FlushOutbox(const std::shared_ptr<Conn>& conn) {
-  std::unique_lock<std::mutex> lock(conn->mu);
+  sync::ReleasableMutexLock lock(&conn->mu);
   while (conn->outbox_pos < conn->outbox.size()) {
     const std::string_view rest =
         std::string_view(conn->outbox).substr(conn->outbox_pos);
@@ -450,7 +453,7 @@ Reactor::FlushResult Reactor::FlushOutbox(const std::shared_ptr<Conn>& conn) {
       continue;
     }
     if (r.outcome == net::IoOutcome::kWouldBlock) break;
-    lock.unlock();
+    lock.Release();
     return FlushResult::kFailed;
   }
   if (conn->outbox_pos >= conn->outbox.size()) {
@@ -463,8 +466,9 @@ Reactor::FlushResult Reactor::FlushOutbox(const std::shared_ptr<Conn>& conn) {
   const bool drained = conn->outbox.empty();
   const bool below_watermark =
       conn->outbox.size() - conn->outbox_pos <= options_.max_outbox_bytes;
-  lock.unlock();
-  if (below_watermark) conn->drain_cv.notify_all();
+  // Notify off-lock: the blocked worker re-acquires mu in its wait loop.
+  lock.Release();
+  if (below_watermark) conn->drain_cv.SignalAll();
   return drained ? FlushResult::kDrained : FlushResult::kBlocked;
 }
 
@@ -484,7 +488,7 @@ void Reactor::HandleWrite(const std::shared_ptr<Conn>& conn) {
   bool done = false;
   bool close = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    sync::MutexLock lock(&conn->mu);
     done = conn->response_done;
     close = conn->close_after_response;
   }
@@ -500,7 +504,7 @@ void Reactor::CompleteResponse(const std::shared_ptr<Conn>& conn,
   // Keep-alive reset: back to READ_HEAD.
   conn->in_dispatch = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    sync::MutexLock lock(&conn->mu);
     conn->response_done = false;
     conn->close_after_response = false;
   }
@@ -516,10 +520,10 @@ void Reactor::CloseConn(const std::shared_ptr<Conn>& conn) {
   if (conn->dead) return;
   conn->dead = true;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    sync::MutexLock lock(&conn->mu);
     conn->closed.store(true, std::memory_order_release);
   }
-  conn->drain_cv.notify_all();  // unblock a worker stuck in EnqueueOutput
+  conn->drain_cv.SignalAll();  // unblock a worker stuck in EnqueueOutput
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->socket.fd(), nullptr);
   conn->socket.Close();
   DisarmTimer(conn);
@@ -568,7 +572,7 @@ void Reactor::ProcessTimers() {
 void Reactor::ProcessReady() {
   std::vector<uint64_t> ready;
   {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    sync::MutexLock lock(&ready_mu_);
     ready.swap(ready_);
   }
   for (const uint64_t id : ready) {
@@ -599,9 +603,8 @@ void Reactor::WorkerLoop() {
   while (true) {
     std::shared_ptr<Conn> conn;
     {
-      std::unique_lock<std::mutex> lock(task_mu_);
-      task_cv_.wait(lock,
-                    [this] { return workers_stop_ || !tasks_.empty(); });
+      sync::MutexLock lock(&task_mu_);
+      while (!workers_stop_ && tasks_.empty()) task_cv_.Wait(&task_mu_);
       if (tasks_.empty()) return;  // stopping and drained
       conn = std::move(tasks_.front());
       tasks_.pop_front();
@@ -665,7 +668,7 @@ void Reactor::RunLineTask(const std::shared_ptr<Conn>& conn) {
 
 void Reactor::FinishResponse(const std::shared_ptr<Conn>& conn, bool close) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    sync::MutexLock lock(&conn->mu);
     conn->response_done = true;
     if (close) conn->close_after_response = true;
   }
@@ -675,19 +678,18 @@ void Reactor::FinishResponse(const std::shared_ptr<Conn>& conn, bool close) {
 Status Reactor::EnqueueOutput(const std::shared_ptr<Conn>& conn,
                               std::string_view data) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    sync::MutexLock lock(&conn->mu);
     if (conn->closed.load(std::memory_order_acquire)) {
       return Status::IoError("connection closed");
     }
     conn->outbox.append(data);
   }
   NotifyReady(conn->id);
-  std::unique_lock<std::mutex> lock(conn->mu);
-  conn->drain_cv.wait(lock, [&] {
-    return conn->closed.load(std::memory_order_acquire) ||
-           conn->outbox.size() - conn->outbox_pos <=
-               options_.max_outbox_bytes;
-  });
+  sync::MutexLock lock(&conn->mu);
+  while (!conn->closed.load(std::memory_order_acquire) &&
+         conn->outbox.size() - conn->outbox_pos > options_.max_outbox_bytes) {
+    conn->drain_cv.Wait(&conn->mu);
+  }
   if (conn->closed.load(std::memory_order_acquire)) {
     return Status::IoError("connection closed");
   }
@@ -696,7 +698,7 @@ Status Reactor::EnqueueOutput(const std::shared_ptr<Conn>& conn,
 
 void Reactor::NotifyReady(uint64_t id) {
   if (id != kWakeTag) {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    sync::MutexLock lock(&ready_mu_);
     ready_.push_back(id);
   }
   const uint64_t one = 1;

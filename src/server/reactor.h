@@ -30,11 +30,9 @@
 #define SCUBE_SERVER_REACTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -42,6 +40,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/http.h"
 #include "net/socket.h"
 #include "server/metrics.h"
@@ -167,13 +166,13 @@ class Reactor {
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater>
       timers_;
 
-  std::mutex ready_mu_;
-  std::vector<uint64_t> ready_;
+  sync::Mutex ready_mu_;
+  std::vector<uint64_t> ready_ GUARDED_BY(ready_mu_);
 
-  std::mutex task_mu_;
-  std::condition_variable task_cv_;
-  std::deque<std::shared_ptr<Conn>> tasks_;
-  bool workers_stop_ = false;
+  sync::Mutex task_mu_;
+  sync::CondVar task_cv_;
+  std::deque<std::shared_ptr<Conn>> tasks_ GUARDED_BY(task_mu_);
+  bool workers_stop_ GUARDED_BY(task_mu_) = false;
 
   std::thread loop_;
   std::vector<std::thread> workers_;

@@ -89,7 +89,7 @@ void ScubedServer::Stop() {
   // not be reused by a concurrent connection while accept() still holds
   // it. The actual close happens after the acceptor is joined.
   listener_.ShutdownAccept();
-  conn_cv_.notify_all();
+  conn_cv_.SignalAll();
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
   for (std::thread& handler : handlers_) {
@@ -97,7 +97,7 @@ void ScubedServer::Stop() {
   }
   handlers_.clear();
   // Connections still queued but never handled just close (RAII).
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  sync::MutexLock lock(&conn_mu_);
   for (size_t i = 0; i < pending_.size(); ++i) metrics_.ConnClosed();
   pending_.clear();
 }
@@ -117,7 +117,7 @@ void ScubedServer::AcceptLoop() {
     net::Socket socket = std::move(accepted).value();
     bool shed = false;
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      sync::MutexLock lock(&conn_mu_);
       if (pending_.size() >= options_.max_queued_connections) {
         shed = true;
       } else {
@@ -134,7 +134,7 @@ void ScubedServer::AcceptLoop() {
       metrics_.ConnClosed();
       continue;  // socket closes via RAII
     }
-    conn_cv_.notify_one();
+    conn_cv_.Signal();
   }
 }
 
@@ -142,10 +142,8 @@ void ScubedServer::ConnectionLoop() {
   while (true) {
     net::Socket socket;
     {
-      std::unique_lock<std::mutex> lock(conn_mu_);
-      conn_cv_.wait(lock, [this] {
-        return !running() || !pending_.empty();
-      });
+      sync::MutexLock lock(&conn_mu_);
+      while (running() && pending_.empty()) conn_cv_.Wait(&conn_mu_);
       if (pending_.empty()) return;  // stopping and drained
       socket = std::move(pending_.front());
       pending_.pop_front();

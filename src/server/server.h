@@ -19,18 +19,17 @@
 #define SCUBE_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/http.h"
 #include "net/socket.h"
 #include "query/cube_store.h"
@@ -172,9 +171,9 @@ class ScubedServer {
   /// pool; kept after Stop() so port() stays readable).
   std::unique_ptr<Reactor> reactor_;
 
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  std::deque<net::Socket> pending_;
+  sync::Mutex conn_mu_;
+  sync::CondVar conn_cv_;
+  std::deque<net::Socket> pending_ GUARDED_BY(conn_mu_);
   std::thread acceptor_;
   std::vector<std::thread> handlers_;
 };

@@ -33,7 +33,7 @@ std::string SlowQueryLog::FormatLine(const SlowQueryRecord& record,
 bool SlowQueryLog::MaybeLog(const SlowQueryRecord& record) {
   if (!enabled() || record.total_ms < threshold_ms_) return false;
   const std::string line = FormatLine(record, threshold_ms_);
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   std::fprintf(sink_, "%s\n", line.c_str());
   std::fflush(sink_);
   return true;

@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "common/trace.h"
 
 namespace scube {
@@ -62,8 +62,8 @@ class SlowQueryLog {
 
  private:
   double threshold_ms_;
-  std::FILE* sink_;
-  std::mutex mu_;  ///< one line at a time: no interleaved records
+  std::FILE* sink_;  ///< const after construction; fprintf serialised by mu_
+  sync::Mutex mu_;   ///< one line at a time: no interleaved records
 };
 
 }  // namespace server
