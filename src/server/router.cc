@@ -484,8 +484,14 @@ bool HandleQueryStream(const RouterContext& ctx,
     ctx.metrics->RaiseMax(ctx.metrics->streamed_buffer_peak,
                           writer.peak_buffer_bytes());
   }
-  writer.Finish();
+  // Log before the terminal chunk for the same reason metrics are
+  // accounted above: a client that has seen the end of the stream must
+  // find the offender in the slow-query log. Logging after Finish()
+  // raced readers of the sink (a just-finished request's line could be
+  // missing for a moment) — caught by the slow-query-log HTTP test going
+  // flaky under the thread-safety annotation pass.
   maybe_slow_log(StatusCodeToString(outcome.status.code()));
+  writer.Finish();
   return writer.ok();
 }
 

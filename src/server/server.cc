@@ -89,7 +89,18 @@ void ScubedServer::Stop() {
   // not be reused by a concurrent connection while accept() still holds
   // it. The actual close happens after the acceptor is joined.
   listener_.ShutdownAccept();
-  conn_cv_.SignalAll();
+  {
+    // Broadcast under conn_mu_. ConnectionLoop evaluates its wait
+    // predicate (!running() || !pending_.empty()) while holding this
+    // mutex, but running_ is flipped above WITHOUT it — so a handler
+    // that read running()==true could block right after a bare notify
+    // and never wake (lost wakeup: Stop() then hangs on handler.join()).
+    // Holding the mutex for the broadcast pins every handler on one side
+    // of the predicate check: it is either blocked in Wait (gets this
+    // notify) or has yet to acquire conn_mu_ (will see running false).
+    sync::MutexLock lock(&conn_mu_);
+    conn_cv_.SignalAll();
+  }
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
   for (std::thread& handler : handlers_) {
