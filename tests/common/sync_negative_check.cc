@@ -1,0 +1,36 @@
+// Compile-time NEGATIVE check for the thread-safety analysis: this TU
+// reads a GUARDED_BY field without holding its mutex and MUST FAIL to
+// compile under clang with -Werror=thread-safety. CMake try_compile's
+// SCUBE_THREAD_SAFETY configure step asserts exactly that (see the
+// "thread-safety negative check" block in CMakeLists.txt); the file name
+// deliberately avoids the tests/*_test.cc glob so it is never built into
+// a test binary.
+//
+// If this TU ever compiles under clang + SCUBE_THREAD_SAFETY=ON, the
+// annotation macros have silently degraded to no-ops (a broken guard is
+// worse than no guard: it reads as "the compiler proved it").
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    // BUG (on purpose): touches value_ without mu_ held. The analysis
+    // must reject this with -Wthread-safety-analysis.
+    ++value_;
+  }
+
+ private:
+  scube::sync::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}
